@@ -1,0 +1,51 @@
+"""Device-sweep ablation (the paper's future work, Section VI).
+
+Re-characterizes a Cactus subset on every device preset.  Shape facts:
+a bandwidth-rich part (A100, lower elbow) pulls borderline workloads to
+the compute side; memory-bound workloads speed up proportionally to
+bandwidth; compute-bound ones track SM count x clock.
+"""
+
+from repro.core import characterize
+from repro.gpu import A100, EDGE_GPU, RTX_3080, DEVICE_PRESETS
+from repro.workloads import get_workload
+
+SUBSET = ("GMS", "LMR", "GST", "DCG", "SPT")
+
+
+def _sweep():
+    table = {}
+    for name, device in DEVICE_PRESETS.items():
+        for abbr in SUBSET:
+            result = characterize(get_workload(abbr, scale=0.25),
+                                  device=device)
+            table[(name, abbr)] = result.aggregate_point
+    return table
+
+
+def test_ablation_devices(benchmark, save_exhibit):
+    table = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    lines = [f"{'device':<10}" + "".join(f"{a:>16}" for a in SUBSET)]
+    for name in DEVICE_PRESETS:
+        cells = []
+        for abbr in SUBSET:
+            point = table[(name, abbr)]
+            side = "C" if point.is_compute_intensive else "M"
+            cells.append(f"{point.gips:9.1f} {side}")
+        lines.append(f"{name:<10}" + "".join(f"{c:>16}" for c in cells))
+    save_exhibit("ablation_devices", "\n".join(lines))
+
+    # Memory-bound GST gains with bandwidth (A100 ~2x the 3080's BW).
+    gst_3080 = table[(RTX_3080.name, "GST")].gips
+    gst_a100 = table[(A100.name, "GST")].gips
+    assert gst_a100 > 1.2 * gst_3080
+    # Everything is slower on the edge part.
+    for abbr in SUBSET:
+        assert (
+            table[(EDGE_GPU.name, abbr)].gips
+            < table[(RTX_3080.name, abbr)].gips
+        )
+    # The elbow ordering: A100's machine balance is more
+    # bandwidth-rich, so its elbow sits left of the 3080's.
+    assert A100.roofline_elbow < RTX_3080.roofline_elbow

@@ -1,0 +1,60 @@
+"""FAMD-vs-PCA clustering-stability ablation (Section V.D's rationale).
+
+The paper chooses FAMD over the PCA of prior characterization work
+because denoised mixed-data factors yield a *more stable* clustering.
+This ablation quantifies that on the real dominant-kernel population:
+leave-one-out adjusted-Rand stability of the six-cluster Ward cut, with
+FAMD factors vs. PCA-on-quantitative factors vs. raw standardized
+metrics.
+"""
+
+import numpy as np
+
+from repro.analysis.famd import famd, _standardize_quantitative
+from repro.analysis.pca import clustering_stability, pca
+from repro.core.compare import _dominant_kernel_features
+
+
+def _feature_sets(cactus_run, prt_run):
+    q1, c1, l1, _ = _dominant_kernel_features(cactus_run, ["Cactus"])
+    q2, c2, l2, _ = _dominant_kernel_features(
+        prt_run, ["Parboil", "Rodinia", "Tango"]
+    )
+    quantitative = {k: q1[k] + q2[k] for k in q1}
+    qualitative = {k: c1[k] + c2[k] for k in c1}
+
+    famd_result = famd(quantitative, qualitative)
+    k_famd = max(2, famd_result.components_for_variance(0.80))
+    pca_result = pca(quantitative)
+    k_pca = max(2, pca_result.components_for_variance(0.80))
+    raw = _standardize_quantitative(
+        np.column_stack([np.asarray(v) for v in quantitative.values()])
+    )
+    return {
+        "famd": famd_result.coordinates[:, :k_famd],
+        "pca": pca_result.coordinates[:, :k_pca],
+        "raw": raw,
+    }
+
+
+def test_ablation_famd(benchmark, cactus_run, prt_run, save_exhibit):
+    spaces = benchmark.pedantic(
+        _feature_sets, args=(cactus_run, prt_run), rounds=1, iterations=1
+    )
+    # Leave-one-out over a fixed fold budget keeps this tractable.
+    stability = {
+        name: clustering_stability(points, n_clusters=6, drop_count=24)
+        for name, points in spaces.items()
+    }
+
+    lines = ["Six-cluster Ward stability (leave-one-out adjusted Rand):"]
+    for name, value in stability.items():
+        lines.append(f"  {name:<5} {value:.3f}")
+    save_exhibit("ablation_famd", "\n".join(lines))
+
+    # The paper's rationale: denoised factors beat clustering on the
+    # raw characteristics, and the mixed-data factorization is at least
+    # as stable as quantitative-only PCA.
+    assert stability["famd"] >= stability["raw"] - 0.05
+    assert stability["famd"] >= stability["pca"] - 0.05
+    assert stability["famd"] > 0.5

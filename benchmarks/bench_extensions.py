@@ -1,0 +1,43 @@
+"""Extension workloads (the paper's future work): TRF, PGR, GCN.
+
+Shape facts: the transformer behaves like the Cactus ML class (large
+kernel menu, mixed intensity); PageRank behaves like an all-edges
+graph kernel (few fat memory-bound launches); GCN straddles both
+worlds in one profile.
+"""
+
+from repro.core import characterize
+from repro.gpu import RTX_3080
+from repro.workloads import get_workload
+
+
+def _run_extensions():
+    return {
+        abbr: characterize(get_workload(abbr, scale=scale))
+        for abbr, scale in (("TRF", 1.0), ("PGR", 0.005), ("GCN", 0.005))
+    }
+
+
+def test_extensions(benchmark, save_exhibit):
+    results = benchmark.pedantic(_run_extensions, rounds=1, iterations=1)
+
+    lines = ["Extension workloads:"]
+    for abbr, result in results.items():
+        point = result.aggregate_point
+        lines.append(
+            f"  {abbr}: kernels={result.table1.kernels_100} "
+            f"k70={result.table1.kernels_70} II={point.intensity:.1f} "
+            f"GIPS={point.gips:.1f} ({point.intensity_class})"
+        )
+    save_exhibit("extensions", "\n".join(lines))
+
+    elbow = RTX_3080.roofline_elbow
+    # TRF: Cactus-ML-class menu and spread.
+    assert results["TRF"].table1.kernels_100 >= 35
+    assert results["TRF"].table1.kernels_70 >= 6
+    # PGR: three-kernel all-edges iteration, memory-bound.
+    assert results["PGR"].table1.kernels_100 == 3
+    assert results["PGR"].aggregate_point.intensity < elbow
+    # GCN: mixes irregular aggregation with dense GEMMs.
+    sides = {p.intensity_class for p in results["GCN"].kernel_points}
+    assert sides == {"compute", "memory"}

@@ -1,0 +1,17 @@
+"""Fig. 1: benchmark-suite popularity at ISCA/MICRO/ASPLOS/HPCA.
+
+Fig. 1 is literature-survey data (papers per suite per year); the
+exhibit is reproduced from the transcribed dataset.  Shape facts:
+Rodinia is the most popular suite, Parboil second.
+"""
+
+from repro.analysis.survey import popularity_ranking, survey_table
+
+
+def test_fig01_survey(benchmark, save_exhibit):
+    ranking = benchmark(popularity_ranking)
+    save_exhibit("fig01_survey", survey_table())
+
+    assert ranking[0][0] == "Rodinia"
+    assert ranking[1][0] == "Parboil"
+    assert ranking[0][1] > 2 * ranking[2][1]

@@ -1,0 +1,35 @@
+"""Fig. 2: GPU-time distribution for the Parboil/Rodinia/Tango suites.
+
+Paper shape: ~70 % of the workloads (23/32 listed in Table III) spend
+>= 70 % of GPU time in ONE kernel; 7 need two kernels; only two (LUD
+and AlexNet) need three.
+"""
+
+from repro.analysis.distribution import dominance_histogram, time_share_table
+
+
+def _collect(prt_run):
+    profiles = [
+        c.profile
+        for suite in ("Parboil", "Rodinia", "Tango")
+        for c in prt_run.suite(suite)
+    ]
+    return dominance_histogram(profiles), profiles
+
+
+def test_fig02_prt_time_distribution(benchmark, prt_run, save_exhibit):
+    histogram, profiles = benchmark(_collect, prt_run)
+
+    lines = ["Fig. 2 — stacked GPU-time shares (top kernels per workload):"]
+    for profile in profiles:
+        shares = ", ".join(
+            f"{name}={share:.0%}"
+            for name, share in time_share_table(profile, top=3)
+        )
+        lines.append(f"  {profile.workload:<16} {shares}")
+    lines.append(f"dominance histogram (kernels for 70% of time): {histogram}")
+    save_exhibit("fig02_prt_time_distribution", "\n".join(lines))
+
+    assert histogram.get(1, 0) == 23
+    assert histogram.get(2, 0) == 7
+    assert histogram.get(3, 0) == 2

@@ -1,0 +1,45 @@
+"""Fig. 3: cumulative GPU time vs. number of kernels for Cactus.
+
+Paper shape: the ML workloads need about a dozen kernels to reach 70 %
+of the GPU time; every molecular/graph workload except GST reaches
+90 % with at most a handful.  GST reaches ~70 % with its single
+dominant pull-advance kernel.
+"""
+
+from repro.analysis.distribution import cumulative_time_curve
+
+
+def _curves(cactus_run):
+    return {
+        c.abbr: cumulative_time_curve(c.profile, max_kernels=14)
+        for c in cactus_run.suite("Cactus")
+    }
+
+
+def test_fig03_cactus_cumulative(benchmark, cactus_run, save_exhibit):
+    curves = benchmark(_curves, cactus_run)
+
+    lines = ["Fig. 3 — cumulative time fraction at k kernels (k=1..14):"]
+    for abbr, curve in curves.items():
+        series = " ".join(f"{frac:.2f}" for _, frac in curve)
+        lines.append(f"  {abbr:<4} {series}")
+    save_exhibit("fig03_cactus_cumulative", "\n".join(lines))
+
+    def at(abbr, k):
+        curve = curves[abbr]
+        index = min(k, len(curve)) - 1
+        return curve[index][1]
+
+    # Molecular + road-graph workloads: >= 90% within 10 kernels
+    # (Fig. 3: LMR approaches ~90% around ten kernels).
+    for abbr in ("GMS", "LMR", "LMC", "GRU"):
+        assert at(abbr, 10) >= 0.90, abbr
+    # GST: one kernel covers ~70%.
+    assert at("GST", 1) >= 0.60
+    # ML workloads: a single kernel never covers 70% - time is spread.
+    for abbr in ("DCG", "NST", "RFL", "SPT", "LGT"):
+        assert at(abbr, 1) < 0.45, abbr
+        assert at(abbr, 14) >= 0.70, abbr
+    # ML needs strictly more kernels than molecular for the same cover.
+    for ml in ("NST", "RFL", "SPT"):
+        assert at(ml, 3) < at("GMS", 3)

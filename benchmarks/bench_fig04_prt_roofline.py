@@ -1,0 +1,46 @@
+"""Fig. 4: rooflines for Parboil (a), Rodinia (b) and Tango (c).
+
+Paper shape: every benchmark's kernels sit on ONE side of the elbow —
+either all memory-intensive or all compute-intensive — except LUD
+(one of each) and AlexNet (two compute + one memory).
+"""
+
+from repro.analysis.roofline import render_roofline_ascii
+from repro.gpu import RTX_3080
+
+
+def _classify(prt_run):
+    sides = {}
+    points = {}
+    for suite in ("Parboil", "Rodinia", "Tango"):
+        for c in prt_run.suite(suite):
+            points.setdefault(suite, []).extend(c.kernel_points)
+            sides[c.abbr] = sorted(
+                {p.intensity_class for p in c.kernel_points}
+            )
+    return sides, points
+
+
+def test_fig04_prt_roofline(benchmark, prt_run, save_exhibit):
+    sides, points = benchmark(_classify, prt_run)
+
+    lines = []
+    for suite, suite_points in points.items():
+        lines.append(f"Fig. 4 — {suite} roofline "
+                     f"(elbow {RTX_3080.roofline_elbow:.2f}):")
+        lines.append(render_roofline_ascii(suite_points, height=14))
+    lines.append("per-benchmark sides: " + ", ".join(
+        f"{abbr}:{'/'.join(s)}" for abbr, s in sorted(sides.items())
+    ))
+    save_exhibit("fig04_prt_roofline", "\n".join(lines))
+
+    mixed = {abbr for abbr, s in sides.items() if len(s) == 2}
+    assert mixed == {"LUD", "AN"}
+    # The named Fig. 4 examples.
+    assert sides["P-BFS"] == ["memory"]
+    assert sides["HISTO"] == ["memory"]
+    assert sides["KMEANS"] == ["memory"]
+    assert sides["SRAD"] == ["memory"]
+    assert sides["BTREE"] == ["compute"]
+    assert sides["SN"] == ["compute"]
+    assert sides["RN"] == ["compute"]

@@ -1,0 +1,45 @@
+"""Fig. 5: aggregate roofline for the ten Cactus applications.
+
+Paper shape: most Cactus applications sit on the memory side; the
+graph workloads (GST, GRU) are clearly memory-intensive with the
+lowest performance; GMS is the only clearly compute-intensive one;
+SPT is the only other exception, close to the boundary; LMR/LMC land
+near the boundary.
+"""
+
+from repro.analysis.roofline import render_roofline_ascii
+from repro.gpu import RTX_3080
+
+
+def _aggregate(cactus_run):
+    return {c.abbr: c.aggregate_point for c in cactus_run.suite("Cactus")}
+
+
+def test_fig05_cactus_roofline(benchmark, cactus_run, save_exhibit):
+    points = benchmark(_aggregate, cactus_run)
+
+    lines = [f"Fig. 5 — Cactus aggregate roofline "
+             f"(elbow {RTX_3080.roofline_elbow:.2f}):"]
+    for abbr, point in points.items():
+        lines.append(
+            f"  {abbr:<4} II={point.intensity:8.2f} "
+            f"GIPS={point.gips:8.2f}  {point.intensity_class}"
+        )
+    lines.append(render_roofline_ascii(list(points.values()), height=14))
+    save_exhibit("fig05_cactus_roofline", "\n".join(lines))
+
+    elbow = RTX_3080.roofline_elbow
+    # GMS clearly compute-side.
+    assert points["GMS"].intensity > 1.5 * elbow
+    # Graph workloads clearly memory-side with the lowest performance.
+    assert points["GST"].intensity < 0.1 * elbow
+    assert points["GRU"].intensity < 0.1 * elbow
+    slowest_two = sorted(points, key=lambda a: points[a].gips)[:2]
+    assert set(slowest_two) == {"GST", "GRU"}
+    # Most applications memory-side; SPT the only ML exception.
+    memory_side = {a for a, p in points.items() if not p.is_compute_intensive}
+    assert {"GST", "GRU", "DCG", "NST", "RFL", "LGT", "LMC"} <= memory_side
+    assert points["SPT"].is_compute_intensive
+    # LMR/LMC near the boundary (within 2x either way).
+    for abbr in ("LMR", "LMC"):
+        assert 0.5 * elbow < points[abbr].intensity < 2.0 * elbow

@@ -1,0 +1,61 @@
+"""Fig. 6: per-kernel rooflines for the molecular and graph workloads.
+
+Paper shape (panels a-c):
+  (a) molecular kernels mix compute- and memory-intensive behaviour —
+      GMS mostly compute-side, LMR/LMC mostly memory-side;
+  (b) graph kernels are mostly memory-intensive;
+  (c) among the *dominant* kernels: GMS has two compute + one memory,
+      LMR one of each, LMC one compute + two memory, and the graph
+      dominants are all memory-intensive.
+"""
+
+from repro.analysis.roofline import render_roofline_ascii
+
+MOLECULAR = ("GMS", "LMR", "LMC")
+GRAPH = ("GST", "GRU")
+
+
+def _panels(cactus_run):
+    molecular = [p for a in MOLECULAR for p in cactus_run[a].kernel_points]
+    graph = [p for a in GRAPH for p in cactus_run[a].kernel_points]
+    dominant = {
+        a: cactus_run[a].dominant_points for a in MOLECULAR + GRAPH
+    }
+    return molecular, graph, dominant
+
+
+def test_fig06_mol_graph_roofline(benchmark, cactus_run, save_exhibit):
+    molecular, graph, dominant = benchmark(_panels, cactus_run)
+
+    lines = ["Fig. 6a — molecular kernels:"]
+    lines.append(render_roofline_ascii(molecular, height=12))
+    lines.append("Fig. 6b — graph kernels:")
+    lines.append(render_roofline_ascii(graph, height=12))
+    lines.append("Fig. 6c — dominant kernels:")
+    for abbr, points in dominant.items():
+        for point in points:
+            lines.append(
+                f"  {abbr:<4} {point.label:<34} II={point.intensity:8.2f} "
+                f"GIPS={point.gips:8.2f} {point.intensity_class}"
+            )
+    save_exhibit("fig06_mol_graph_roofline", "\n".join(lines))
+
+    def sides(abbr):
+        compute = sum(
+            1 for p in dominant[abbr] if p.is_compute_intensive
+        )
+        return compute, len(dominant[abbr]) - compute
+
+    assert sides("GMS") == (2, 1)  # two compute + one memory
+    assert sides("LMR") == (1, 1)  # one of each
+    assert sides("LMC") == (1, 2)  # one compute + two memory
+    # Graph dominants: all memory-intensive.
+    for abbr in GRAPH:
+        assert sides(abbr)[0] == 0
+    # Panel (a): both sides present among molecular kernels.
+    assert {p.intensity_class for p in molecular} == {"compute", "memory"}
+    # Panel (b): graph kernels predominantly memory-side.
+    memory_share = sum(
+        1 for p in graph if not p.is_compute_intensive
+    ) / len(graph)
+    assert memory_share > 0.8

@@ -1,0 +1,59 @@
+"""Fig. 7: per-kernel rooflines for the ML training workloads.
+
+Paper shape (panels a-c):
+  (a) every ML application features kernels on BOTH sides of the elbow
+      with a wide performance spread;
+  (b) most kernels individually contribute < 10 % of the time;
+  (c) among the dominant kernels, several are pinned near the
+      DRAM-bandwidth roof; the most dominant kernels of DCG/NST are
+      compute-intensive while LGT's most dominant is memory-intensive.
+"""
+
+from repro.analysis.roofline import render_roofline_ascii
+
+ML = ("DCG", "NST", "RFL", "SPT", "LGT")
+
+
+def _panels(cactus_run):
+    all_points = {a: cactus_run[a].kernel_points for a in ML}
+    dominant = {a: cactus_run[a].dominant_points for a in ML}
+    return all_points, dominant
+
+
+def test_fig07_ml_roofline(benchmark, cactus_run, save_exhibit):
+    all_points, dominant = benchmark(_panels, cactus_run)
+
+    flat = [p for points in all_points.values() for p in points]
+    lines = [f"Fig. 7a — all {len(flat)} ML kernels:"]
+    lines.append(render_roofline_ascii(flat, height=14))
+    lines.append("Fig. 7c — dominant ML kernels (per workload top set):")
+    for abbr, points in dominant.items():
+        for point in points[:5]:
+            lines.append(
+                f"  {abbr:<4} {point.label:<44} II={point.intensity:8.2f} "
+                f"GIPS={point.gips:8.2f} {point.intensity_class} "
+                f"({point.distance_to_roof():4.0%} of roof)"
+            )
+    save_exhibit("fig07_ml_roofline", "\n".join(lines))
+
+    # (a) every ML app mixes both sides with a wide GIPS spread.
+    for abbr, points in all_points.items():
+        classes = {p.intensity_class for p in points}
+        assert classes == {"compute", "memory"}, abbr
+        gips = sorted(p.gips for p in points)
+        assert gips[-1] > 20 * gips[0], abbr
+    # (b) most kernels contribute less than 10% of their app's time.
+    small = sum(1 for p in flat if p.time_share < 0.10)
+    assert small / len(flat) > 0.8
+    # (c) the most dominant kernels: DCG/NST compute, LGT memory.
+    assert dominant["DCG"][0].is_compute_intensive
+    assert dominant["NST"][0].is_compute_intensive
+    assert not dominant["LGT"][0].is_compute_intensive
+    # Several dominant ML kernels hug the DRAM-bandwidth roof.
+    near_roof = sum(
+        1
+        for points in dominant.values()
+        for p in points
+        if not p.is_compute_intensive and p.distance_to_roof() > 0.6
+    )
+    assert near_roof >= 3

@@ -1,0 +1,63 @@
+"""Fig. 9: FAMD + Ward dendrogram over all dominant kernels.
+
+Paper shape: six primary clusters; kernels of the same PRT benchmark
+stay within at most two clusters; kernels of the same Cactus
+application spread across several; some clusters are dominated by (or
+exclusive to) Cactus kernels, i.e. Cactus covers a larger part of the
+workload space.
+"""
+
+from collections import Counter
+
+from repro.analysis.clustering import render_dendrogram
+from repro.core.compare import cluster_dominant_kernels
+
+
+def _cluster(cactus_run, prt_run):
+    return cluster_dominant_kernels(cactus_run, prt_run, n_clusters=6)
+
+
+def test_fig09_clustering(benchmark, cactus_run, prt_run, save_exhibit):
+    labels, owners, assignment, suite_of, tree = benchmark(
+        _cluster, cactus_run, prt_run
+    )
+
+    lines = [render_dendrogram(tree, n_clusters=6, max_members=8)]
+    composition = Counter()
+    cactus_counts = Counter()
+    for owner, cluster in zip(owners, assignment):
+        composition[cluster] += 1
+        if suite_of[owner] == "Cactus":
+            cactus_counts[cluster] += 1
+    for cluster in sorted(composition):
+        share = cactus_counts[cluster] / composition[cluster]
+        lines.append(
+            f"cluster {cluster + 1}: {composition[cluster]} kernels, "
+            f"{share:.0%} from Cactus"
+        )
+    save_exhibit("fig09_clustering", "\n".join(lines))
+
+    assert len(set(assignment)) == 6
+
+    clusters_of = {}
+    for owner, cluster in zip(owners, assignment):
+        clusters_of.setdefault(owner, set()).add(cluster)
+    # PRT benchmarks: at most two clusters each (Obs. 10).
+    for owner, clusters in clusters_of.items():
+        if suite_of[owner] == "PRT":
+            assert len(clusters) <= 2, owner
+    # Several Cactus workloads spread across >= 3 clusters (Obs. 11).
+    spread = sum(
+        1
+        for owner, clusters in clusters_of.items()
+        if suite_of[owner] == "Cactus" and len(clusters) >= 3
+    )
+    assert spread >= 3
+    # Cactus-dominated clusters exist and Cactus covers nearly all of
+    # the space (Obs. 12).
+    dominated = [
+        c for c in composition
+        if cactus_counts[c] / composition[c] > 0.6
+    ]
+    assert len(dominated) >= 2
+    assert sum(1 for c in composition if cactus_counts[c] > 0) >= 5

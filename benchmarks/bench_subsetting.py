@@ -1,0 +1,61 @@
+"""Subsetting/redundancy analysis (extension; DESIGN.md section 6).
+
+The quantitative counterpart of Observation 12: at equal coverage of
+their own dispersion, both suites compress — but the representatives
+selected from the *pooled* population must include Cactus kernels to
+cover the regions PRT never reaches.
+"""
+
+import numpy as np
+
+from repro.analysis.famd import famd
+from repro.analysis.subsetting import (
+    representatives_for_coverage,
+    select_representatives,
+)
+from repro.core.compare import _dominant_kernel_features
+
+
+def _pooled_points(cactus_run, prt_run):
+    q1, c1, l1, o1 = _dominant_kernel_features(cactus_run, ["Cactus"])
+    q2, c2, l2, o2 = _dominant_kernel_features(
+        prt_run, ["Parboil", "Rodinia", "Tango"]
+    )
+    quantitative = {k: q1[k] + q2[k] for k in q1}
+    qualitative = {k: c1[k] + c2[k] for k in c1}
+    factors = famd(quantitative, qualitative)
+    k = max(2, factors.components_for_variance(0.80))
+    points = factors.coordinates[:, :k]
+    labels = l1 + l2
+    origin = ["Cactus"] * len(l1) + ["PRT"] * len(l2)
+    return points, labels, origin
+
+
+def test_subsetting(benchmark, cactus_run, prt_run, save_exhibit):
+    points, labels, origin = benchmark.pedantic(
+        _pooled_points, args=(cactus_run, prt_run), rounds=1, iterations=1
+    )
+
+    result = representatives_for_coverage(np.asarray(points), labels, 0.85)
+    reps = result.representative_labels
+    rep_origin = [origin[i] for i in result.representative_indices]
+
+    lines = [
+        f"representatives for 85% coverage of the pooled dominant-kernel "
+        f"population: {len(reps)} of {len(labels)}",
+    ]
+    for label, suite in zip(reps, rep_origin):
+        lines.append(f"  [{suite:<6}] {label}")
+    share = rep_origin.count("Cactus") / len(rep_origin)
+    lines.append(f"Cactus share among representatives: {share:.0%} "
+                 f"(population share: {origin.count('Cactus') / len(origin):.0%})")
+    save_exhibit("subsetting", "\n".join(lines))
+
+    # A small subset covers the pooled population...
+    assert len(reps) < len(labels) / 2
+    # ...but it cannot be built without Cactus kernels (Obs. 12's
+    # "larger workload space" from the subsetting angle).
+    assert "Cactus" in rep_origin
+
+    fixed = select_representatives(np.asarray(points), labels, k=8)
+    assert fixed.coverage > 0.5

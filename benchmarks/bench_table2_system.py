@@ -1,0 +1,38 @@
+"""Table II + Section IV performance-model constants.
+
+The measurement platform: RTX 3080, 68 SMs x 128 CUDA cores at
+1.9 GHz, 10 GB at 760 GB/s, 5 MB L2 — and the roofline constants the
+paper derives from them: 516.8 GIPS peak, 23.75 GTXN/s, elbow 21.76.
+"""
+
+import pytest
+
+from repro.gpu import DEVICE_PRESETS, RTX_3080
+
+
+def _system_table():
+    lines = ["Table II — system setup (modelled):"]
+    spec = RTX_3080
+    lines.append(f"  GPU: {spec.name}, {spec.num_sms} SMs, "
+                 f"{spec.warp_schedulers_per_sm} schedulers/SM @ "
+                 f"{spec.clock_ghz} GHz")
+    lines.append(f"  DRAM: {spec.dram_bytes / 2**30:.0f} GiB @ "
+                 f"{spec.dram_bandwidth_gbs} GB/s, "
+                 f"{spec.dram_transaction_bytes} B transactions")
+    lines.append(f"  L2: {spec.l2_bytes / 2**20:.0f} MiB; "
+                 f"L1: {spec.l1_bytes_per_sm // 1024} KiB/SM")
+    lines.append(f"  peak: {spec.peak_gips:.1f} GIPS, "
+                 f"{spec.peak_gtxn_per_s:.2f} GTXN/s, "
+                 f"elbow {spec.roofline_elbow:.2f} insts/txn")
+    lines.append(f"  presets available: {sorted(DEVICE_PRESETS)}")
+    return "\n".join(lines)
+
+
+def test_table2_system(benchmark, save_exhibit):
+    table = benchmark(_system_table)
+    save_exhibit("table2_system", table)
+
+    assert RTX_3080.peak_gips == pytest.approx(516.8)
+    assert RTX_3080.peak_gtxn_per_s == pytest.approx(23.76, abs=0.01)
+    assert RTX_3080.roofline_elbow == pytest.approx(21.76, abs=0.02)
+    assert RTX_3080.num_sms == 68

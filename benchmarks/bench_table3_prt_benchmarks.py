@@ -1,0 +1,33 @@
+"""Table III: the Parboil/Rodinia/Tango benchmark roster.
+
+11 Parboil + 18 Rodinia + 3 Tango workloads, all runnable through the
+pipeline.
+"""
+
+from repro.workloads import get_workload, list_workloads
+
+
+def _roster():
+    return {
+        suite: list_workloads(suite)
+        for suite in ("Parboil", "Rodinia", "Tango")
+    }
+
+
+def test_table3_prt_benchmarks(benchmark, save_exhibit):
+    roster = benchmark(_roster)
+
+    lines = ["Table III — baseline benchmarks:"]
+    for suite, members in roster.items():
+        names = [get_workload(m, scale=0.01).name for m in members]
+        lines.append(f"  {suite} ({len(members)}): {', '.join(names)}")
+    save_exhibit("table3_prt_benchmarks", "\n".join(lines))
+
+    assert len(roster["Parboil"]) == 11
+    assert len(roster["Rodinia"]) == 18
+    assert len(roster["Tango"]) == 3
+    # Spot-check the named entries of Table III.
+    rodinia_names = {
+        get_workload(m, scale=0.01).name for m in roster["Rodinia"]
+    }
+    assert {"b+tree", "lud", "kmeans", "srad_v1"} <= rodinia_names

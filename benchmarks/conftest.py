@@ -1,0 +1,39 @@
+"""Shared fixtures for the figure/table regeneration benchmarks.
+
+Both suites are traced once per session at the observation scale; each
+benchmark then times the *analysis* step that produces its exhibit and
+writes the rendered rows/series to ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import OBSERVATION_SCALE, run_suite
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def cactus_run():
+    return run_suite(["Cactus"], preset=OBSERVATION_SCALE)
+
+
+@pytest.fixture(scope="session")
+def prt_run():
+    return run_suite(["Parboil", "Rodinia", "Tango"], preset=OBSERVATION_SCALE)
+
+
+@pytest.fixture(scope="session")
+def save_exhibit():
+    """Write an exhibit's rendered text to benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"\n--- {name} ---")
+        print(text)
+
+    return _save

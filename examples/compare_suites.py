@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Compare Cactus against Parboil/Rodinia/Tango (the paper's thesis).
+
+Runs both suites, prints Table I, the Fig. 2 dominance histogram for
+the bottom-up suites, and the Observation 1-12 scoreboard.
+
+Usage::
+
+    python examples/compare_suites.py [--fast]
+"""
+
+import sys
+
+from repro.analysis.distribution import dominance_histogram
+from repro.core import (
+    LAPTOP_SCALE,
+    OBSERVATION_SCALE,
+    check_observations,
+    run_suite,
+)
+
+
+def main() -> None:
+    preset = LAPTOP_SCALE if "--fast" in sys.argv else OBSERVATION_SCALE
+    print(f"Running both suites at the '{preset.name}' scale preset "
+          f"(this traces all 42 workloads)...\n")
+
+    cactus = run_suite(["Cactus"], preset=preset)
+    prt = run_suite(["Parboil", "Rodinia", "Tango"], preset=preset)
+
+    print("Table I (Cactus):")
+    header = (f"  {'abbr':<5} {'insts':>10} {'avg/kernel':>11} "
+              f"{'kernels':>8} {'70% time':>9}")
+    print(header)
+    for characterization in cactus.suite("Cactus"):
+        row = characterization.table1
+        print(f"  {row.abbr:<5} {row.total_warp_insts:>10.2e} "
+              f"{row.weighted_avg_insts_per_kernel:>11.2e} "
+              f"{row.kernels_100:>8} {row.kernels_70:>9}")
+
+    histogram = dominance_histogram(
+        [c.profile for s in ("Parboil", "Rodinia", "Tango")
+         for c in prt.suite(s)]
+    )
+    print("\nFig. 2 dominance histogram (PRT): kernels needed for 70% "
+          f"of GPU time -> workload count: {histogram}")
+
+    print("\n" + check_observations(cactus, prt).render())
+
+
+if __name__ == "__main__":
+    main()

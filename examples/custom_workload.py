@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Bring your own workload: model an application and characterize it.
+
+Shows the extension path a downstream user takes: implement the
+:class:`~repro.workloads.base.Workload` interface (emit a kernel launch
+stream), then reuse the whole pipeline — profiler, Table-I statistics,
+roofline, trace export — unchanged.
+
+The example models a simple iterative Jacobi solver with a convergence
+check: one streaming stencil kernel plus a reduction per sweep, a
+residual norm readback every 8 sweeps.
+
+Usage::
+
+    python examples/custom_workload.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core import characterize
+from repro.gpu.kernel import (
+    InstructionMix,
+    KernelCharacteristics,
+    LaunchStream,
+    MemoryFootprint,
+)
+from repro.profiler import export_trace
+from repro.workloads.base import Workload, WorkloadInfo
+
+
+class JacobiSolver(Workload):
+    """A 2D Jacobi iteration with periodic convergence checks."""
+
+    repetitive = True
+
+    def __init__(self, scale: float = 1.0, seed: int = 0,
+                 grid: int = 4096, sweeps: int = 64) -> None:
+        info = WorkloadInfo(
+            name="Jacobi2D",
+            abbr="JAC",
+            suite="Custom",
+            domain="HPC",
+            description="Iterative 5-point Jacobi solver",
+            dataset=f"{grid}x{grid} grid",
+        )
+        super().__init__(info, scale=scale, seed=seed)
+        self.grid = max(256, int(grid * scale))
+        self.sweeps = sweeps
+
+    def launch_stream(self) -> LaunchStream:
+        n = self.grid * self.grid
+        sweep = KernelCharacteristics(
+            name="jacobi_sweep_5pt",
+            grid_blocks=max(1, n // 256),
+            threads_per_block=256,
+            warp_insts=n * 14.0 / 32.0,
+            mix=InstructionMix(fp32=0.35, ld_st=0.40, branch=0.02),
+            memory=MemoryFootprint(
+                bytes_read=n * 4.0, bytes_written=n * 4.0,
+                reuse_factor=5.0, l1_locality=0.7,
+            ),
+            mlp=8.0,
+        )
+        residual = KernelCharacteristics(
+            name="residual_norm_reduce",
+            grid_blocks=max(1, n // 512),
+            threads_per_block=512,
+            warp_insts=n * 3.0 / 32.0,
+            mix=InstructionMix(fp32=0.30, ld_st=0.32, sync=0.08),
+            memory=MemoryFootprint(bytes_read=n * 4.0, bytes_written=512.0),
+            mlp=8.0,
+        )
+        stream = LaunchStream()
+        for step in range(self.sweeps):
+            stream.launch(sweep, phase=f"sweep{step}")
+            if step % 8 == 7:
+                stream.launch(residual, phase=f"sweep{step}")
+        return stream
+
+
+def main() -> None:
+    workload = JacobiSolver(scale=0.5)
+    result = characterize(workload)
+    point = result.aggregate_point
+
+    print(f"{workload.name} on a {workload.dataset}:")
+    print(f"  kernels: {result.table1.kernels_100}, "
+          f"70% of time in {result.table1.kernels_70}")
+    print(f"  intensity {point.intensity:.2f} insts/txn -> "
+          f"{point.intensity_class}-intensive, {point.gips:.1f} GIPS")
+
+    # The trace-export extension: hand the stream to a trace-driven
+    # simulator without re-running the model.
+    path = Path(tempfile.mkdtemp()) / "jacobi.trace.jsonl"
+    count = export_trace(workload.launch_stream(), path)
+    print(f"  exported {count} launches to {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Render the ML roofline chart (Fig. 7) as ASCII art.
+
+Profiles the five ML training workloads and draws all their kernels on
+one instruction-roofline chart, then the dominant kernels only — the
+two panels the paper uses to show that ML kernels spread across both
+sides of the elbow while the dominant ones hug the memory roof.
+
+Usage::
+
+    python examples/ml_roofline_report.py [scale]
+"""
+
+import sys
+
+from repro.analysis.roofline import render_roofline_ascii
+from repro.core import characterize
+from repro.workloads import get_workload
+
+ML_WORKLOADS = ("DCG", "NST", "RFL", "SPT", "LGT")
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    all_points = []
+    dominant_points = []
+    for abbr in ML_WORKLOADS:
+        result = characterize(get_workload(abbr, scale=scale))
+        all_points.extend(result.kernel_points)
+        dominant_points.extend(result.dominant_points)
+
+    print(f"Fig. 7a — all {len(all_points)} ML kernels:")
+    print(render_roofline_ascii(all_points))
+    print(f"\nFig. 7c — the {len(dominant_points)} dominant ML kernels:")
+    print(render_roofline_ascii(dominant_points))
+
+
+if __name__ == "__main__":
+    main()

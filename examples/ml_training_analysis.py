@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Deep-dive into the ML training workloads (the paper's Fig. 7 story).
+
+Profiles the five PyTorch-style training workloads and reports, per
+model: the kernel menu size, the time concentration, and how its
+dominant kernels split between the compute and memory sides of the
+roofline — including which ones are pinned to the DRAM-bandwidth roof.
+
+Usage::
+
+    python examples/ml_training_analysis.py [scale]
+"""
+
+import sys
+
+from repro.core import characterize
+from repro.gpu import RTX_3080
+from repro.workloads import get_workload
+
+ML_WORKLOADS = ("DCG", "NST", "RFL", "SPT", "LGT")
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    print(f"Profiling the five ML training workloads at scale {scale}...\n")
+
+    for abbr in ML_WORKLOADS:
+        workload = get_workload(abbr, scale=scale)
+        result = characterize(workload)
+        profile = result.profile
+        compute, memory = result.dominant_sides
+
+        print(f"=== {abbr}: {workload.name} ({workload.dataset})")
+        print(f"  distinct kernels: {profile.num_kernels}   "
+              f"for 70% of time: {len(result.dominant_points)}   "
+              f"aggregate: {result.aggregate_point.intensity:.1f} insts/txn "
+              f"({result.aggregate_point.intensity_class})")
+        print(f"  dominant kernels: {compute} compute-side, "
+              f"{memory} memory-side")
+
+        near_roof = [
+            p for p in result.dominant_points
+            if not p.is_compute_intensive and p.distance_to_roof() > 0.6
+        ]
+        if near_roof:
+            print("  pinned to the DRAM-bandwidth roof:")
+            for point in near_roof:
+                roof = point.intensity * RTX_3080.peak_gtxn_per_s
+                print(f"    {point.label:<44} {point.gips:7.1f} GIPS "
+                      f"({point.gips / roof:4.0%} of its memory roof)")
+        top = profile.kernels[0]
+        print(f"  top kernel: {top.name} "
+              f"({top.total_time_s / profile.total_time_s:.1%} of time, "
+              f"{top.invocations} invocations)\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: characterize one Cactus workload end to end.
+
+Runs the Gromacs NPT workload (GMS) through the profiler on the
+modelled RTX 3080, then prints its Table-I row, per-kernel time
+distribution, and roofline classification — the full Section-V
+treatment for one application, in a few lines of library code.
+
+Usage::
+
+    python examples/quickstart.py [scale]
+"""
+
+import sys
+
+from repro.analysis.roofline import render_roofline_ascii
+from repro.core import characterize
+from repro.gpu import RTX_3080
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    workload = get_workload("GMS", scale=scale)
+    print(f"Characterizing {workload.name} ({workload.dataset}) "
+          f"at scale {scale} on {RTX_3080.name}...\n")
+
+    result = characterize(workload)
+    profile = result.profile
+
+    print(f"Distinct kernels:        {result.table1.kernels_100}")
+    print(f"Kernels for 70% of time: {result.table1.kernels_70}")
+    print(f"Total warp instructions: {result.table1.total_warp_insts:.3e}")
+    print(f"Aggregate intensity:     "
+          f"{result.aggregate_point.intensity:.1f} insts/txn "
+          f"({result.aggregate_point.intensity_class}-intensive; "
+          f"elbow = {RTX_3080.roofline_elbow:.2f})")
+    print(f"Aggregate performance:   {result.aggregate_point.gips:.1f} GIPS "
+          f"(peak {RTX_3080.peak_gips:.1f})\n")
+
+    print("Per-kernel GPU-time distribution:")
+    for kernel in profile.kernels:
+        share = kernel.total_time_s / profile.total_time_s
+        bar = "#" * int(40 * share)
+        print(f"  {kernel.name:<34} {share:6.1%} {bar}")
+
+    print("\nRoofline (per kernel):")
+    print(render_roofline_ascii(result.kernel_points))
+
+
+if __name__ == "__main__":
+    main()

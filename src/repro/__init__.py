@@ -1,0 +1,7 @@
+"""Reproduction of *Cactus: Top-Down GPU-Compute Benchmarking using
+Real-Life Applications* (Naderan-Tahan & Eeckhout, IISWC 2021).
+
+See :mod:`repro.core` for the end-to-end characterization pipeline.
+"""
+
+__version__ = "1.0.0"

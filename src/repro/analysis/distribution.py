@@ -1,0 +1,73 @@
+"""GPU-time distribution analysis (Figs. 2-3, Table I).
+
+Operates on :class:`~repro.profiler.records.ApplicationProfile` objects
+and produces the paper's distribution exhibits: stacked per-kernel time
+shares, cumulative time-vs-kernel-count curves, dominance histograms,
+and Table I rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.profiler.records import ApplicationProfile
+
+
+def cumulative_time_curve(
+    profile: ApplicationProfile, max_kernels: Optional[int] = None
+) -> List[Tuple[int, float]]:
+    """(kernel count, cumulative GPU-time fraction) pairs — Fig. 3."""
+    fractions = profile.cumulative_time_fractions(max_kernels=max_kernels)
+    return [(index + 1, value) for index, value in enumerate(fractions)]
+
+
+def dominance_histogram(
+    profiles: Sequence[ApplicationProfile], fraction: float = 0.70
+) -> Dict[int, int]:
+    """How many workloads need k kernels to cover *fraction* — Fig. 2.
+
+    Returns ``{k: count}`` for the observed values of k.
+    """
+    histogram: Dict[int, int] = {}
+    for profile in profiles:
+        k = profile.num_kernels_for_fraction(fraction)
+        histogram[k] = histogram.get(k, 0) + 1
+    return dict(sorted(histogram.items()))
+
+
+def time_share_table(
+    profile: ApplicationProfile, top: int = 10
+) -> List[Tuple[str, float]]:
+    """Top-N (kernel, time share) rows for the stacked bars of Fig. 2."""
+    shares = [
+        (k.name, k.total_time_s / profile.total_time_s)
+        for k in profile.kernels
+    ]
+    return shares[:top]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table I."""
+
+    workload: str
+    abbr: str
+    domain: str
+    total_warp_insts: float
+    weighted_avg_insts_per_kernel: float
+    kernels_100: int
+    kernels_70: int
+
+
+def table1_row(profile: ApplicationProfile, abbr: str = "") -> Table1Row:
+    """Compute one Table I row from a profile."""
+    return Table1Row(
+        workload=profile.workload,
+        abbr=abbr or profile.workload,
+        domain=profile.domain,
+        total_warp_insts=profile.total_warp_insts,
+        weighted_avg_insts_per_kernel=profile.weighted_avg_insts_per_kernel,
+        kernels_100=profile.num_kernels,
+        kernels_70=profile.num_kernels_for_fraction(0.70),
+    )

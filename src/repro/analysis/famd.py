@@ -1,0 +1,131 @@
+"""Factor Analysis of Mixed Data (FAMD), from scratch.
+
+The paper uses FAMD (via R's FactoMineR) as a denoising step before
+hierarchical clustering: quantitative profiler metrics *and* the two
+qualitative roofline labels (memory/compute-intensive,
+latency/bandwidth-bound) are projected onto a few dominant factors.
+
+FAMD is PCA on a mixed design matrix:
+
+* each quantitative variable is standardized (zero mean, unit variance);
+* each qualitative variable is one-hot encoded, with indicator column j
+  scaled by ``1 / sqrt(p_j)`` (p_j = category proportion) and centred —
+  which makes the one-hot block equivalent to running MCA on it.
+
+The factorization itself is an SVD of the combined matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class FAMDResult:
+    """Outcome of a FAMD factorization."""
+
+    #: Row coordinates in factor space (n_samples x n_components).
+    coordinates: np.ndarray
+    #: Fraction of total variance captured by each component.
+    explained_variance_ratio: np.ndarray
+    #: Names of the design-matrix columns, in order.
+    column_names: Tuple[str, ...]
+    #: Component loadings (n_columns x n_components).
+    loadings: np.ndarray
+
+    @property
+    def n_components(self) -> int:
+        return self.coordinates.shape[1]
+
+    def components_for_variance(self, target: float) -> int:
+        """Smallest k whose cumulative explained variance >= target."""
+        if not 0.0 < target <= 1.0:
+            raise ValueError("target must be in (0, 1]")
+        cumulative = np.cumsum(self.explained_variance_ratio)
+        return int(np.searchsorted(cumulative, target - 1e-12) + 1)
+
+
+def _standardize_quantitative(matrix: np.ndarray) -> np.ndarray:
+    mean = matrix.mean(axis=0)
+    std = matrix.std(axis=0)
+    std = np.where(std > 0, std, 1.0)
+    return (matrix - mean) / std
+
+
+def _encode_qualitative(
+    values: Sequence[str], name: str
+) -> Tuple[np.ndarray, List[str]]:
+    categories = sorted(set(values))
+    n = len(values)
+    columns = []
+    names = []
+    for category in categories:
+        indicator = np.array(
+            [1.0 if v == category else 0.0 for v in values]
+        )
+        proportion = indicator.mean()
+        scaled = indicator / np.sqrt(proportion)
+        columns.append(scaled - scaled.mean())
+        names.append(f"{name}={category}")
+    return np.column_stack(columns), names
+
+
+def famd(
+    quantitative: Dict[str, Sequence[float]],
+    qualitative: Dict[str, Sequence[str]] | None = None,
+    n_components: int | None = None,
+) -> FAMDResult:
+    """Run FAMD on named quantitative and qualitative variables.
+
+    Parameters
+    ----------
+    quantitative:
+        Mapping of variable name to per-sample values.
+    qualitative:
+        Mapping of variable name to per-sample category labels.
+    n_components:
+        Number of factors to keep (default: all).
+    """
+    if not quantitative:
+        raise ValueError("need at least one quantitative variable")
+    lengths = {len(v) for v in quantitative.values()}
+    if qualitative:
+        lengths |= {len(v) for v in qualitative.values()}
+    if len(lengths) != 1:
+        raise ValueError("all variables must have the same sample count")
+    n_samples = lengths.pop()
+    if n_samples < 2:
+        raise ValueError("need at least two samples")
+
+    names: List[str] = list(quantitative.keys())
+    blocks = [
+        _standardize_quantitative(
+            np.column_stack([np.asarray(quantitative[k], dtype=float)
+                             for k in quantitative])
+        )
+    ]
+    if qualitative:
+        for name, values in qualitative.items():
+            encoded, encoded_names = _encode_qualitative(values, name)
+            blocks.append(encoded)
+            names.extend(encoded_names)
+
+    design = np.column_stack(blocks)
+    # SVD-based PCA (the design matrix is already centred).
+    u, singular_values, vt = np.linalg.svd(design, full_matrices=False)
+    variances = singular_values ** 2
+    total = variances.sum()
+    ratio = variances / total if total > 0 else variances
+
+    k = n_components or len(singular_values)
+    k = min(k, len(singular_values))
+    coordinates = u[:, :k] * singular_values[:k]
+    return FAMDResult(
+        coordinates=coordinates,
+        explained_variance_ratio=ratio[:k],
+        column_names=tuple(names),
+        loadings=vt.T[:, :k],
+    )

@@ -1,0 +1,125 @@
+"""Plain PCA and clustering-stability measurement.
+
+Section V.D motivates FAMD over the PCA used by prior characterization
+work (Adhinarayanan & Feng; Goswami et al.; Ryoo et al.): mixing the
+qualitative roofline labels into the factorization and clustering on
+the first few factors "provides a clustering outcome that is more
+stable than if we were to apply cluster analysis on the original
+execution characteristics".
+
+This module provides the two comparison points needed to test that
+claim quantitatively:
+
+* :func:`pca` — standard PCA on the quantitative variables only
+  (the prior-work baseline);
+* :func:`clustering_stability` — agreement (adjusted Rand index)
+  between clusterings under leave-one-out perturbations of the sample,
+  the standard stability measure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.clustering import cut_tree, ward_clustering
+from repro.analysis.famd import FAMDResult, _standardize_quantitative
+
+
+def pca(
+    quantitative: Dict[str, Sequence[float]],
+    n_components: int | None = None,
+) -> FAMDResult:
+    """PCA on standardized quantitative variables (prior-work baseline).
+
+    Returns the same result type as :func:`~repro.analysis.famd.famd`
+    so the clustering pipeline is interchangeable.
+    """
+    if not quantitative:
+        raise ValueError("need at least one variable")
+    lengths = {len(v) for v in quantitative.values()}
+    if len(lengths) != 1:
+        raise ValueError("all variables must have the same sample count")
+    matrix = _standardize_quantitative(
+        np.column_stack(
+            [np.asarray(v, dtype=float) for v in quantitative.values()]
+        )
+    )
+    u, singular_values, vt = np.linalg.svd(matrix, full_matrices=False)
+    variances = singular_values ** 2
+    total = variances.sum()
+    ratio = variances / total if total > 0 else variances
+    k = min(n_components or len(singular_values), len(singular_values))
+    return FAMDResult(
+        coordinates=u[:, :k] * singular_values[:k],
+        explained_variance_ratio=ratio[:k],
+        column_names=tuple(quantitative.keys()),
+        loadings=vt.T[:, :k],
+    )
+
+
+def adjusted_rand_index(a: Sequence[int], b: Sequence[int]) -> float:
+    """Adjusted Rand index between two flat clusterings."""
+    a = list(a)
+    b = list(b)
+    if len(a) != len(b):
+        raise ValueError("clusterings must label the same samples")
+    n = len(a)
+    if n < 2:
+        raise ValueError("need at least two samples")
+
+    def comb2(x: int) -> float:
+        return x * (x - 1) / 2.0
+
+    contingency: Dict[tuple, int] = {}
+    a_sizes: Dict[int, int] = {}
+    b_sizes: Dict[int, int] = {}
+    for label_a, label_b in zip(a, b):
+        contingency[(label_a, label_b)] = (
+            contingency.get((label_a, label_b), 0) + 1
+        )
+        a_sizes[label_a] = a_sizes.get(label_a, 0) + 1
+        b_sizes[label_b] = b_sizes.get(label_b, 0) + 1
+
+    index = sum(comb2(c) for c in contingency.values())
+    sum_a = sum(comb2(c) for c in a_sizes.values())
+    sum_b = sum(comb2(c) for c in b_sizes.values())
+    expected = sum_a * sum_b / comb2(n)
+    maximum = (sum_a + sum_b) / 2.0
+    if maximum == expected:
+        return 1.0
+    return (index - expected) / (maximum - expected)
+
+
+def clustering_stability(
+    points: np.ndarray,
+    n_clusters: int,
+    drop_count: int | None = None,
+) -> float:
+    """Leave-one-out stability of Ward clustering on *points*.
+
+    For each dropped sample, recluster the rest and measure the
+    adjusted Rand agreement with the full clustering restricted to the
+    surviving samples; return the mean agreement (1.0 = perfectly
+    stable).  ``drop_count`` limits how many leave-one-out folds run
+    (defaults to all samples).
+    """
+    points = np.asarray(points, dtype=float)
+    n = len(points)
+    if n < n_clusters + 2:
+        raise ValueError("not enough samples for a stability estimate")
+    labels = [str(i) for i in range(n)]
+    full = cut_tree(ward_clustering(points, labels), n_clusters)
+
+    agreements: List[float] = []
+    folds = range(n) if drop_count is None else range(min(drop_count, n))
+    for dropped in folds:
+        keep = [i for i in range(n) if i != dropped]
+        sub = cut_tree(
+            ward_clustering(points[keep], [labels[i] for i in keep]),
+            n_clusters,
+        )
+        reference = [full[i] for i in keep]
+        agreements.append(adjusted_rand_index(reference, sub))
+    return float(np.mean(agreements))

@@ -1,0 +1,158 @@
+"""Instruction roofline analysis (Section IV, Figs. 4-7).
+
+The paper plots performance (GIPS) against instruction intensity (warp
+instructions per 32-byte DRAM transaction).  A kernel left of the elbow
+(21.76 insts/txn on the RTX 3080) is *memory-intensive*; right of it,
+*compute-intensive*.  A kernel below 1 % of peak performance is
+*latency-bound*, else *bandwidth-bound* — the two qualitative labels
+the clustering step (Fig. 9) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.gpu.device import RTX_3080, DeviceSpec
+from repro.profiler.records import ApplicationProfile, KernelProfile
+
+#: The paper's latency/bandwidth threshold: 1 % of peak performance.
+LATENCY_BOUND_FRACTION = 0.01
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One point in a roofline chart."""
+
+    label: str
+    workload: str
+    intensity: float  # warp insts per DRAM transaction
+    gips: float
+    time_share: float  # fraction of its application's GPU time
+    intensity_class: str  # "compute" | "memory"
+    latency_class: str  # "bandwidth" | "latency"
+
+    @property
+    def is_compute_intensive(self) -> bool:
+        return self.intensity_class == "compute"
+
+    def distance_to_roof(self, device: DeviceSpec = RTX_3080) -> float:
+        """Achieved fraction of the applicable roof (<= 1)."""
+        roof = min(
+            device.peak_gips, self.intensity * device.peak_gtxn_per_s
+        )
+        return self.gips / roof if roof > 0 else 0.0
+
+
+def classify_intensity(
+    intensity: float, device: DeviceSpec = RTX_3080
+) -> str:
+    """Memory- vs compute-intensive by the roofline elbow."""
+    return "compute" if intensity > device.roofline_elbow else "memory"
+
+
+def classify_latency(gips: float, device: DeviceSpec = RTX_3080) -> str:
+    """Latency- vs bandwidth-bound by the 1 %-of-peak threshold."""
+    threshold = LATENCY_BOUND_FRACTION * device.peak_gips
+    return "bandwidth" if gips > threshold else "latency"
+
+
+def kernel_roofline(
+    profile: ApplicationProfile,
+    kernels: Sequence[KernelProfile] | None = None,
+    device: DeviceSpec = RTX_3080,
+) -> List[RooflinePoint]:
+    """Roofline points for (a subset of) a workload's kernels.
+
+    Pass ``profile.dominant_kernels`` to reproduce the dominant-only
+    panels (Figs. 6c and 7c).
+    """
+    total_time = profile.total_time_s
+    points = []
+    for kernel in kernels if kernels is not None else profile.kernels:
+        intensity = kernel.instruction_intensity
+        gips = kernel.gips
+        points.append(
+            RooflinePoint(
+                label=kernel.name,
+                workload=profile.workload,
+                intensity=intensity,
+                gips=gips,
+                time_share=kernel.total_time_s / total_time,
+                intensity_class=classify_intensity(intensity, device),
+                latency_class=classify_latency(gips, device),
+            )
+        )
+    return points
+
+
+def application_roofline(
+    profile: ApplicationProfile, device: DeviceSpec = RTX_3080
+) -> RooflinePoint:
+    """Aggregate (whole-application) roofline point — Fig. 5."""
+    intensity = profile.instruction_intensity
+    gips = profile.gips
+    return RooflinePoint(
+        label=profile.workload,
+        workload=profile.workload,
+        intensity=intensity,
+        gips=gips,
+        time_share=1.0,
+        intensity_class=classify_intensity(intensity, device),
+        latency_class=classify_latency(gips, device),
+    )
+
+
+def render_roofline_ascii(
+    points: Sequence[RooflinePoint],
+    device: DeviceSpec = RTX_3080,
+    width: int = 72,
+    height: int = 20,
+) -> str:
+    """Text rendering of a roofline chart (log-log axes).
+
+    Used by the benchmark harnesses to print the figures' series.
+    """
+    import math
+
+    if not points:
+        return "(no points)"
+    min_x = min(p.intensity for p in points if p.intensity > 0)
+    max_x = max(max(p.intensity for p in points), device.roofline_elbow * 4)
+    min_y = min(p.gips for p in points if p.gips > 0)
+    max_y = device.peak_gips * 1.2
+    min_x = max(min_x / 2, 1e-3)
+    min_y = max(min_y / 2, 1e-3)
+
+    def col(x: float) -> int:
+        t = (math.log10(x) - math.log10(min_x)) / (
+            math.log10(max_x) - math.log10(min_x)
+        )
+        return min(width - 1, max(0, int(t * (width - 1))))
+
+    def row(y: float) -> int:
+        t = (math.log10(y) - math.log10(min_y)) / (
+            math.log10(max_y) - math.log10(min_y)
+        )
+        return min(height - 1, max(0, int((1 - t) * (height - 1))))
+
+    grid = [[" "] * width for _ in range(height)]
+    # Roofs: memory slope then compute flat.
+    for c in range(width):
+        x = 10 ** (
+            math.log10(min_x)
+            + c / (width - 1) * (math.log10(max_x) - math.log10(min_x))
+        )
+        y = min(device.peak_gips, x * device.peak_gtxn_per_s)
+        grid[row(y)][c] = "-" if x > device.roofline_elbow else "/"
+    for point in points:
+        r, c = row(max(point.gips, min_y)), col(max(point.intensity, min_x))
+        grid[r][c] = "C" if point.is_compute_intensive else "M"
+
+    lines = ["".join(r) for r in grid]
+    lines.append(
+        f"x: II {min_x:.3g}..{max_x:.3g} insts/txn (elbow "
+        f"{device.roofline_elbow:.2f}) | y: GIPS {min_y:.3g}.."
+        f"{max_y:.3g} | C=compute-side M=memory-side"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,174 @@
+"""Benchmark subsetting and redundancy analysis.
+
+The paper's related work (Adhinarayanan & Feng; Ryoo et al., "GPGPU
+benchmark suites: how well do they sample the performance spectrum?")
+selects *representative subsets* of kernels from a characterized
+population.  This module implements that workflow on top of the FAMD
+factor space used for Fig. 9:
+
+* :func:`select_representatives` — k-medoids selection of K kernels
+  that minimize the total distance from every kernel to its nearest
+  representative;
+* :func:`coverage` — how much of the population's dispersion a subset
+  explains (1 - within-subset distance / total dispersion);
+* :func:`redundancy_report` — per-suite redundancy: how many kernels a
+  suite could drop while keeping a given coverage.
+
+Together these quantify the paper's Observation 12 from the other
+direction: a suite that covers a *larger space* needs *more*
+representatives for the same coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SubsetResult:
+    """Outcome of a representative-selection run."""
+
+    representative_indices: Tuple[int, ...]
+    representative_labels: Tuple[str, ...]
+    #: Index of the representative assigned to each sample.
+    assignment: Tuple[int, ...]
+    coverage: float
+
+
+def _pairwise_sq_distances(points: np.ndarray) -> np.ndarray:
+    diff = points[:, None, :] - points[None, :, :]
+    return (diff ** 2).sum(axis=2)
+
+
+def coverage(points: np.ndarray, subset: Sequence[int]) -> float:
+    """Fraction of total dispersion explained by *subset*.
+
+    Defined as ``1 - sum_i min_j d2(i, subset_j) / sum_i d2(i, mean)``:
+    1.0 when every point coincides with a representative, 0.0 when the
+    subset explains nothing beyond the global mean.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or len(points) == 0:
+        raise ValueError("points must be a non-empty 2D array")
+    if not subset:
+        raise ValueError("subset must be non-empty")
+    subset = list(subset)
+    baseline = ((points - points.mean(axis=0)) ** 2).sum()
+    if baseline <= 0:
+        return 1.0
+    to_subset = (
+        (points[:, None, :] - points[subset][None, :, :]) ** 2
+    ).sum(axis=2)
+    residual = to_subset.min(axis=1).sum()
+    return float(max(0.0, 1.0 - residual / baseline))
+
+
+def select_representatives(
+    points: np.ndarray,
+    labels: Sequence[str],
+    k: int,
+    max_iterations: int = 50,
+) -> SubsetResult:
+    """Greedy-init k-medoids over the factor-space points.
+
+    Deterministic: initialization is farthest-point (starting from the
+    medoid of the whole population), refinement is standard alternating
+    assignment/medoid update.
+    """
+    points = np.asarray(points, dtype=float)
+    n = len(points)
+    if n != len(labels):
+        raise ValueError("labels must match points")
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}]")
+
+    d2 = _pairwise_sq_distances(points)
+
+    # Farthest-point initialization from the global medoid.
+    medoid0 = int(np.argmin(d2.sum(axis=1)))
+    chosen = [medoid0]
+    while len(chosen) < k:
+        dist_to_chosen = d2[:, chosen].min(axis=1)
+        chosen.append(int(np.argmax(dist_to_chosen)))
+
+    for _ in range(max_iterations):
+        assignment = np.asarray(d2[:, chosen]).argmin(axis=1)
+        updated = []
+        for cluster_index in range(k):
+            members = np.flatnonzero(assignment == cluster_index)
+            if members.size == 0:
+                updated.append(chosen[cluster_index])
+                continue
+            within = d2[np.ix_(members, members)].sum(axis=1)
+            updated.append(int(members[np.argmin(within)]))
+        if updated == chosen:
+            break
+        chosen = updated
+
+    assignment = np.asarray(d2[:, chosen]).argmin(axis=1)
+    return SubsetResult(
+        representative_indices=tuple(chosen),
+        representative_labels=tuple(labels[i] for i in chosen),
+        assignment=tuple(int(a) for a in assignment),
+        coverage=coverage(points, chosen),
+    )
+
+
+def representatives_for_coverage(
+    points: np.ndarray,
+    labels: Sequence[str],
+    target: float,
+) -> SubsetResult:
+    """Smallest K whose k-medoids subset reaches *target* coverage."""
+    if not 0.0 < target <= 1.0:
+        raise ValueError("target must be in (0, 1]")
+    n = len(points)
+    result = None
+    for k in range(1, n + 1):
+        result = select_representatives(points, labels, k)
+        if result.coverage >= target:
+            return result
+    assert result is not None
+    return result
+
+
+@dataclass(frozen=True)
+class RedundancyRow:
+    """Per-suite redundancy summary."""
+
+    suite: str
+    kernels: int
+    representatives_needed: int
+    coverage: float
+
+    @property
+    def redundancy(self) -> float:
+        """Fraction of kernels a suite could drop at this coverage."""
+        return 1.0 - self.representatives_needed / self.kernels
+
+
+def redundancy_report(
+    groups: dict,
+    target: float = 0.9,
+) -> List[RedundancyRow]:
+    """Representatives needed per group of (points, labels).
+
+    ``groups`` maps a suite name to ``(points, labels)``.  A suite with
+    higher redundancy samples a smaller part of the space per kernel —
+    the quantitative counterpart of Observation 12.
+    """
+    rows = []
+    for suite, (points, labels) in groups.items():
+        result = representatives_for_coverage(points, labels, target)
+        rows.append(
+            RedundancyRow(
+                suite=suite,
+                kernels=len(labels),
+                representatives_needed=len(result.representative_indices),
+                coverage=result.coverage,
+            )
+        )
+    return rows

@@ -1,0 +1,53 @@
+"""The benchmark-popularity survey (Fig. 1).
+
+Fig. 1 counts GPU-related papers in ISCA/MICRO/ASPLOS/HPCA from 2010
+to 2020 by the benchmark suite they evaluate with.  This is literature
+data, not a measurement, so we reproduce it as a dataset (transcribed
+from the figure's visual proportions) plus rendering code.  The
+load-bearing facts are ordinal: Rodinia first, Parboil second,
+CUDA-SDK third, then LoneStar/PolyBench/SHOC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: Papers per suite per year (2010-2020), transcribed from Fig. 1.
+SURVEY_COUNTS: Dict[str, Tuple[int, ...]] = {
+    #               2010 11  12  13  14  15  16  17  18  19  20
+    "Rodinia":      (1,  2,  4,  6, 10, 12, 14, 16, 15, 14, 12),
+    "Parboil":      (1,  2,  3,  5,  6,  8,  8,  7,  6,  5,  4),
+    "CUDA-SDK":     (2,  2,  3,  3,  4,  5,  5,  4,  4,  3,  3),
+    "LoneStar":     (0,  1,  1,  2,  2,  3,  3,  3,  3,  2,  2),
+    "PolyBench":    (0,  0,  1,  1,  2,  3,  3,  3,  2,  2,  2),
+    "SHOC":         (0,  1,  1,  2,  2,  2,  2,  2,  2,  1,  1),
+}
+
+YEARS: Tuple[int, ...] = tuple(range(2010, 2021))
+
+
+def total_papers(suite: str) -> int:
+    """Total usage count for one suite across the decade."""
+    if suite not in SURVEY_COUNTS:
+        known = ", ".join(sorted(SURVEY_COUNTS))
+        raise KeyError(f"unknown suite {suite!r}; known: {known}")
+    return sum(SURVEY_COUNTS[suite])
+
+
+def popularity_ranking() -> List[Tuple[str, int]]:
+    """Suites ranked by total usage, most popular first."""
+    return sorted(
+        ((suite, total_papers(suite)) for suite in SURVEY_COUNTS),
+        key=lambda item: item[1],
+        reverse=True,
+    )
+
+
+def survey_table() -> str:
+    """Text table of Fig. 1's data."""
+    header = "suite        " + " ".join(f"{y % 100:>3}" for y in YEARS) + "  total"
+    lines = [header, "-" * len(header)]
+    for suite, total in popularity_ranking():
+        counts = " ".join(f"{c:>3}" for c in SURVEY_COUNTS[suite])
+        lines.append(f"{suite:<13}{counts}  {total:>5}")
+    return "\n".join(lines)

@@ -1,0 +1,173 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list``
+    List registered workloads per suite.
+``characterize ABBR``
+    Full Section-V treatment for one workload.
+``table1``
+    The Cactus Table-I statistics.
+``observations``
+    Run both suites and print the Observation 1-12 scoreboard.
+``report``
+    Full Markdown characterization report (optionally to a file).
+``trace ABBR PATH``
+    Export a workload's kernel launch stream as a JSONL trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core import (
+    LAPTOP_SCALE,
+    OBSERVATION_SCALE,
+    PAPER_SCALE,
+    characterize,
+    check_observations,
+    run_suite,
+)
+from repro.core.report import generate_report
+from repro.workloads import get_workload, list_workloads
+
+_PRESETS = {
+    "laptop": LAPTOP_SCALE,
+    "observation": OBSERVATION_SCALE,
+    "paper": PAPER_SCALE,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cactus (IISWC 2021) reproduction pipeline",
+    )
+    parser.add_argument(
+        "--preset",
+        choices=sorted(_PRESETS),
+        default="laptop",
+        help="scale preset for suite-level commands (default: laptop)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered workloads")
+
+    one = sub.add_parser("characterize", help="characterize one workload")
+    one.add_argument("abbr", help="workload abbreviation, e.g. GMS")
+    one.add_argument("--scale", type=float, default=0.25)
+
+    sub.add_parser("table1", help="print the Cactus Table I")
+
+    sub.add_parser(
+        "observations", help="evaluate Observations 1-12 on both suites"
+    )
+
+    report = sub.add_parser("report", help="full Markdown report")
+    report.add_argument("--output", default=None,
+                        help="write the report to this file")
+    report.add_argument("--with-prt", action="store_true",
+                        help="include the PRT comparison sections")
+
+    trace = sub.add_parser("trace", help="export a workload kernel trace")
+    trace.add_argument("abbr")
+    trace.add_argument("path")
+    trace.add_argument("--scale", type=float, default=0.1)
+
+    return parser
+
+
+def _cmd_list() -> int:
+    for suite in ("Cactus", "CactusExt", "Parboil", "Rodinia", "Tango"):
+        members = list_workloads(suite)
+        print(f"{suite} ({len(members)}):")
+        for abbr in members:
+            workload = get_workload(abbr, scale=0.01)
+            print(f"  {abbr:<14} {workload.name} — {workload.info.description}")
+    return 0
+
+
+def _cmd_characterize(abbr: str, scale: float) -> int:
+    result = characterize(get_workload(abbr, scale=scale))
+    profile = result.profile
+    point = result.aggregate_point
+    print(f"{result.abbr}: {profile.workload} at scale {scale}")
+    print(f"  kernels: {result.table1.kernels_100} "
+          f"(70% of time in {result.table1.kernels_70})")
+    print(f"  total warp insts: {result.table1.total_warp_insts:.3e}")
+    print(f"  aggregate: II={point.intensity:.2f}, GIPS={point.gips:.2f} "
+          f"({point.intensity_class}-intensive)")
+    print("  top kernels:")
+    for kernel in profile.kernels[:8]:
+        share = kernel.total_time_s / profile.total_time_s
+        print(f"    {kernel.name:<44} {share:6.1%} "
+              f"x{kernel.invocations}")
+    return 0
+
+
+def _cmd_table1(preset) -> int:
+    from repro.analysis.tables import render_table1
+
+    result = run_suite(["Cactus"], preset=preset)
+    rows = [c.table1 for c in result.suite("Cactus")]
+    print(render_table1(rows))
+    return 0
+
+
+def _cmd_observations(preset) -> int:
+    cactus = run_suite(["Cactus"], preset=preset)
+    prt = run_suite(["Parboil", "Rodinia", "Tango"], preset=preset)
+    report = check_observations(cactus, prt)
+    print(report.render())
+    return 0 if report.passed >= 11 else 1
+
+
+def _cmd_report(preset, output: Optional[str], with_prt: bool) -> int:
+    cactus = run_suite(["Cactus"], preset=preset)
+    prt = (
+        run_suite(["Parboil", "Rodinia", "Tango"], preset=preset)
+        if with_prt
+        else None
+    )
+    text = generate_report(cactus, prt)
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_trace(abbr: str, path: str, scale: float) -> int:
+    from repro.profiler import export_trace
+
+    workload = get_workload(abbr, scale=scale)
+    count = export_trace(workload.launch_stream(), path)
+    print(f"wrote {count} launches from {abbr} to {path}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    preset = _PRESETS[args.preset]
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "characterize":
+        return _cmd_characterize(args.abbr, args.scale)
+    if args.command == "table1":
+        return _cmd_table1(preset)
+    if args.command == "observations":
+        return _cmd_observations(preset)
+    if args.command == "report":
+        return _cmd_report(preset, args.output, args.with_prt)
+    if args.command == "trace":
+        return _cmd_trace(args.abbr, args.path, args.scale)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

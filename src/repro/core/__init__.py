@@ -1,0 +1,24 @@
+"""End-to-end orchestration: the top-down characterization pipeline."""
+
+from repro.core.characterize import Characterization, characterize
+from repro.core.compare import ObservationReport, check_observations
+from repro.core.config import (
+    LAPTOP_SCALE,
+    OBSERVATION_SCALE,
+    PAPER_SCALE,
+    ScalePreset,
+)
+from repro.core.suite import SuiteResult, run_suite
+
+__all__ = [
+    "Characterization",
+    "characterize",
+    "ObservationReport",
+    "check_observations",
+    "LAPTOP_SCALE",
+    "OBSERVATION_SCALE",
+    "PAPER_SCALE",
+    "ScalePreset",
+    "SuiteResult",
+    "run_suite",
+]

@@ -1,0 +1,71 @@
+"""Per-workload characterization: the full Section V treatment.
+
+``characterize(workload)`` runs the workload through the profiler and
+bundles every per-application analysis of the paper: Table I row,
+cumulative time curve, aggregate and per-kernel roofline points, and
+the dominant-kernel selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.analysis.distribution import Table1Row, table1_row
+from repro.analysis.roofline import (
+    RooflinePoint,
+    application_roofline,
+    kernel_roofline,
+)
+from repro.gpu.device import RTX_3080, DeviceSpec
+from repro.gpu.simulator import GPUSimulator
+from repro.profiler.profiler import Profiler
+from repro.profiler.records import ApplicationProfile
+from repro.workloads.base import Workload
+
+
+@dataclass
+class Characterization:
+    """Everything the paper derives from one workload."""
+
+    abbr: str
+    profile: ApplicationProfile
+    table1: Table1Row
+    cumulative_curve: List[Tuple[int, float]]
+    aggregate_point: RooflinePoint
+    kernel_points: List[RooflinePoint]
+    dominant_points: List[RooflinePoint]
+
+    @property
+    def is_memory_intensive(self) -> bool:
+        return not self.aggregate_point.is_compute_intensive
+
+    @property
+    def dominant_sides(self) -> Tuple[int, int]:
+        """(compute-intensive, memory-intensive) counts among the
+        dominant kernels."""
+        compute = sum(1 for p in self.dominant_points if p.is_compute_intensive)
+        return compute, len(self.dominant_points) - compute
+
+
+def characterize(
+    workload: Workload,
+    device: DeviceSpec = RTX_3080,
+    profiler: Optional[Profiler] = None,
+) -> Characterization:
+    """Run the full per-workload characterization pipeline."""
+    profiler = profiler or Profiler(simulator=GPUSimulator(device))
+    profile = profiler.profile(workload)
+    from repro.analysis.distribution import cumulative_time_curve
+
+    return Characterization(
+        abbr=workload.abbr,
+        profile=profile,
+        table1=table1_row(profile, abbr=workload.abbr),
+        cumulative_curve=cumulative_time_curve(profile, max_kernels=14),
+        aggregate_point=application_roofline(profile, device),
+        kernel_points=kernel_roofline(profile, device=device),
+        dominant_points=kernel_roofline(
+            profile, profile.dominant_kernels, device=device
+        ),
+    )

@@ -1,0 +1,130 @@
+"""Markdown characterization-report generator.
+
+Produces a self-contained Markdown report for a suite run — the whole
+Section-V treatment as a document: Table I, the dominance histogram,
+aggregate roofline table, the correlation matrix, the dendrogram, and
+(when a PRT run is supplied) the Observation 1-12 scoreboard.  Used by
+the CLI (``python -m repro report``) and handy for regression diffing
+between model versions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.correlation import correlation_matrix
+from repro.analysis.distribution import dominance_histogram
+from repro.analysis.roofline import render_roofline_ascii
+from repro.core.compare import check_observations, cluster_dominant_kernels
+from repro.core.suite import SuiteResult
+from repro.gpu.device import RTX_3080
+
+
+def _section(title: str, body: str) -> str:
+    return f"## {title}\n\n{body}\n"
+
+
+def _code(text: str) -> str:
+    return f"```\n{text}\n```"
+
+
+def _table1(result: SuiteResult, suite: str) -> str:
+    lines = [
+        "| workload | total warp insts | w-avg insts/kernel "
+        "| kernels (100%) | kernels (70%) |",
+        "|---|---:|---:|---:|---:|",
+    ]
+    for characterization in result.suite(suite):
+        row = characterization.table1
+        lines.append(
+            f"| {row.abbr} | {row.total_warp_insts:.3e} "
+            f"| {row.weighted_avg_insts_per_kernel:.3e} "
+            f"| {row.kernels_100} | {row.kernels_70} |"
+        )
+    return "\n".join(lines)
+
+
+def _roofline_table(result: SuiteResult, suite: str) -> str:
+    elbow = RTX_3080.roofline_elbow
+    lines = [
+        f"Roofline elbow: {elbow:.2f} warp insts / 32B transaction; "
+        f"peak {RTX_3080.peak_gips:.1f} GIPS.",
+        "",
+        "| workload | intensity | GIPS | class |",
+        "|---|---:|---:|---|",
+    ]
+    for characterization in result.suite(suite):
+        point = characterization.aggregate_point
+        lines.append(
+            f"| {characterization.abbr} | {point.intensity:.2f} "
+            f"| {point.gips:.2f} | {point.intensity_class} |"
+        )
+    return "\n".join(lines)
+
+
+def generate_report(
+    cactus: SuiteResult,
+    prt: Optional[SuiteResult] = None,
+    title: str = "Cactus characterization report",
+) -> str:
+    """Render a Markdown report for a Cactus run (and optional PRT run)."""
+    parts: List[str] = [f"# {title}\n"]
+    parts.append(
+        f"Device: {cactus.device.name}; scale preset: "
+        f"{cactus.preset.name}.\n"
+    )
+
+    parts.append(_section("Table I — suite statistics",
+                          _table1(cactus, "Cactus")))
+    parts.append(
+        _section("Aggregate roofline (Fig. 5)",
+                 _roofline_table(cactus, "Cactus"))
+    )
+
+    points = [
+        p
+        for characterization in cactus.suite("Cactus")
+        for p in characterization.kernel_points
+    ]
+    parts.append(
+        _section(
+            "Per-kernel roofline (Figs. 6-7)",
+            _code(render_roofline_ascii(points, height=16)),
+        )
+    )
+
+    matrix = correlation_matrix(cactus.profiles("Cactus"))
+    parts.append(
+        _section("Correlation analysis (Fig. 8)", _code(matrix.render()))
+    )
+
+    if prt is not None:
+        histogram = dominance_histogram(
+            [
+                c.profile
+                for s in ("Parboil", "Rodinia", "Tango")
+                for c in prt.suite(s)
+            ]
+        )
+        parts.append(
+            _section(
+                "PRT dominance (Fig. 2)",
+                f"Kernels needed for 70% of GPU time → workload count: "
+                f"`{histogram}`",
+            )
+        )
+        from repro.analysis.clustering import render_dendrogram
+
+        *_rest, tree = cluster_dominant_kernels(cactus, prt)
+        parts.append(
+            _section(
+                "Clustering (Fig. 9)",
+                _code(render_dendrogram(tree, n_clusters=6, max_members=6)),
+            )
+        )
+        report = check_observations(cactus, prt)
+        parts.append(
+            _section("Observations 1-12", _code(report.render()))
+        )
+
+    return "\n".join(parts)

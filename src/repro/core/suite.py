@@ -1,0 +1,76 @@
+"""Suite runner: characterize whole benchmark suites in one call."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.characterize import Characterization, characterize
+from repro.core.config import LAPTOP_SCALE, ScalePreset
+from repro.gpu.device import RTX_3080, DeviceSpec
+from repro.gpu.simulator import GPUSimulator
+from repro.profiler.profiler import Profiler
+from repro.workloads.registry import get_workload, list_workloads
+
+
+@dataclass
+class SuiteResult:
+    """Characterizations for one or more suites, keyed by abbreviation."""
+
+    device: DeviceSpec
+    preset: ScalePreset
+    results: Dict[str, Characterization] = field(default_factory=dict)
+
+    def __getitem__(self, abbr: str) -> Characterization:
+        return self.results[abbr.upper()]
+
+    def __contains__(self, abbr: str) -> bool:
+        return abbr.upper() in self.results
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def suite(self, name: str) -> List[Characterization]:
+        """Characterizations of one suite, in registration order."""
+        return [
+            self.results[abbr]
+            for abbr in list_workloads(name)
+            if abbr in self.results
+        ]
+
+    def profiles(self, name: Optional[str] = None):
+        items = (
+            self.suite(name) if name else list(self.results.values())
+        )
+        return [c.profile for c in items]
+
+
+def run_suite(
+    suites: Sequence[str] = ("Cactus",),
+    preset: ScalePreset = LAPTOP_SCALE,
+    device: DeviceSpec = RTX_3080,
+    workloads: Optional[Sequence[str]] = None,
+) -> SuiteResult:
+    """Characterize every workload of the given suites.
+
+    Pass ``workloads`` to restrict to specific abbreviations.
+    """
+    profiler = Profiler(simulator=GPUSimulator(device))
+    selected: List[str] = []
+    for suite in suites:
+        selected.extend(list_workloads(suite))
+    if workloads is not None:
+        wanted = {w.upper() for w in workloads}
+        selected = [abbr for abbr in selected if abbr in wanted]
+    if not selected:
+        raise ValueError(f"no workloads selected from suites {suites!r}")
+
+    result = SuiteResult(device=device, preset=preset)
+    for abbr in selected:
+        workload = get_workload(
+            abbr, scale=preset.for_workload(abbr), seed=preset.seed
+        )
+        result.results[abbr] = characterize(
+            workload, device=device, profiler=profiler
+        )
+    return result

@@ -1,0 +1,61 @@
+"""GPU hardware and timing substrate.
+
+This package models the measurement platform of the Cactus paper — an
+Nvidia RTX 3080 profiled with Nsight Compute — as an analytical
+instruction-roofline performance model.  Workloads submit streams of
+:class:`~repro.gpu.kernel.KernelLaunch` objects; the
+:class:`~repro.gpu.simulator.GPUSimulator` turns each launch into a
+:class:`~repro.gpu.metrics.KernelMetrics` record carrying the same metric
+vocabulary the paper collects (Table IV) plus the roofline quantities
+(GIPS and instruction intensity).
+"""
+
+from repro.gpu.device import (
+    A100,
+    DEVICE_PRESETS,
+    EDGE_GPU,
+    RTX_3080,
+    RTX_3090,
+    DeviceSpec,
+)
+from repro.gpu.kernel import (
+    InstructionMix,
+    KernelCharacteristics,
+    KernelLaunch,
+    LaunchStream,
+    MemoryFootprint,
+)
+from repro.gpu.memory import CacheModel, MemorySystemResult
+from repro.gpu.metrics import (
+    PRIMARY_METRICS,
+    SECONDARY_METRICS,
+    KernelMetrics,
+)
+from repro.gpu.occupancy import OccupancyResult, compute_occupancy
+from repro.gpu.simulator import GPUSimulator, SimulationOptions
+from repro.gpu.timing import TimingBreakdown, TimingModel
+
+__all__ = [
+    "A100",
+    "DEVICE_PRESETS",
+    "EDGE_GPU",
+    "RTX_3080",
+    "RTX_3090",
+    "DeviceSpec",
+    "InstructionMix",
+    "KernelCharacteristics",
+    "KernelLaunch",
+    "LaunchStream",
+    "MemoryFootprint",
+    "CacheModel",
+    "MemorySystemResult",
+    "KernelMetrics",
+    "PRIMARY_METRICS",
+    "SECONDARY_METRICS",
+    "OccupancyResult",
+    "compute_occupancy",
+    "GPUSimulator",
+    "SimulationOptions",
+    "TimingBreakdown",
+    "TimingModel",
+]

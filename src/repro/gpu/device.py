@@ -1,0 +1,169 @@
+"""Device specifications for the analytical GPU model.
+
+The Cactus paper measures on an Nvidia RTX 3080 (Table II) and derives its
+instruction roofline from the published device parameters:
+
+* peak performance: ``68 SMs x 4 warp schedulers x 1 warp inst/cycle x
+  1.9 GHz = 516.8 GIPS`` (Giga warp Instructions Per Second),
+* peak memory bandwidth: ``760.3 GB/s / 32 B per transaction =
+  23.75 GTXN/s`` (Giga Transactions per Second),
+* roofline elbow: ``516.8 / 23.75 = 21.76`` warp instructions per DRAM
+  transaction.
+
+:class:`DeviceSpec` captures exactly those parameters plus the handful of
+micro-architectural quantities the timing model needs (cache capacities,
+occupancy limits, latencies).  The values for the RTX 3080 preset follow
+the paper and public Ampere documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Parameters of a GPU device used by the timing model.
+
+    All rates are expressed in the paper's units: *warp* instructions
+    (one warp instruction = 32 thread instructions) and 32-byte DRAM
+    transactions.
+    """
+
+    name: str
+    num_sms: int
+    warp_schedulers_per_sm: int
+    warp_insts_per_cycle: float
+    clock_ghz: float
+    dram_bandwidth_gbs: float
+    dram_transaction_bytes: int = 32
+    l2_bytes: int = 5 * MIB
+    l1_bytes_per_sm: int = 128 * KIB
+    dram_bytes: int = 10 * GIB
+    max_warps_per_sm: int = 48
+    max_blocks_per_sm: int = 16
+    max_threads_per_block: int = 1024
+    warp_size: int = 32
+    # Latency parameters (cycles) used for latency-bound kernels and for
+    # the latency-hiding/issue-efficiency model.
+    alu_latency_cycles: float = 6.0
+    l1_latency_cycles: float = 30.0
+    l2_latency_cycles: float = 200.0
+    dram_latency_cycles: float = 470.0
+    # Fixed host-side cost of launching one kernel (seconds).  This is
+    # what makes the thousands of tiny launches in the road-network BFS
+    # latency-bound rather than bandwidth-bound.
+    kernel_launch_overhead_s: float = 3.0e-6
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0:
+            raise ValueError(f"num_sms must be positive, got {self.num_sms}")
+        if self.clock_ghz <= 0:
+            raise ValueError(f"clock_ghz must be positive, got {self.clock_ghz}")
+        if self.dram_bandwidth_gbs <= 0:
+            raise ValueError(
+                f"dram_bandwidth_gbs must be positive, got {self.dram_bandwidth_gbs}"
+            )
+        if self.dram_transaction_bytes <= 0:
+            raise ValueError("dram_transaction_bytes must be positive")
+
+    @property
+    def peak_gips(self) -> float:
+        """Peak warp-instruction throughput in Giga warp insts/second."""
+        return (
+            self.num_sms
+            * self.warp_schedulers_per_sm
+            * self.warp_insts_per_cycle
+            * self.clock_ghz
+        )
+
+    @property
+    def peak_gtxn_per_s(self) -> float:
+        """Peak DRAM transaction throughput (Giga 32-byte txns/second)."""
+        return self.dram_bandwidth_gbs / self.dram_transaction_bytes
+
+    @property
+    def roofline_elbow(self) -> float:
+        """Instruction intensity at which the memory roof meets the
+        compute roof (warp instructions per DRAM transaction)."""
+        return self.peak_gips / self.peak_gtxn_per_s
+
+    @property
+    def clock_hz(self) -> float:
+        return self.clock_ghz * 1e9
+
+    @property
+    def max_threads_per_sm(self) -> int:
+        return self.max_warps_per_sm * self.warp_size
+
+    @property
+    def total_l1_bytes(self) -> int:
+        return self.l1_bytes_per_sm * self.num_sms
+
+    def with_overrides(self, **kwargs: object) -> "DeviceSpec":
+        """Return a copy of this spec with selected fields replaced."""
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+#: The paper's measurement platform (Table II): RTX 3080, Ampere,
+#: 68 SMs, 1.9 GHz, 10 GB GDDR6X at 760.3 GB/s, 5 MB L2.
+RTX_3080 = DeviceSpec(
+    name="RTX 3080",
+    num_sms=68,
+    warp_schedulers_per_sm=4,
+    warp_insts_per_cycle=1.0,
+    clock_ghz=1.9,
+    dram_bandwidth_gbs=760.3,
+    l2_bytes=5 * MIB,
+    l1_bytes_per_sm=128 * KIB,
+    dram_bytes=10 * GIB,
+)
+
+#: Larger Ampere sibling; used by the device-sweep ablation.
+RTX_3090 = DeviceSpec(
+    name="RTX 3090",
+    num_sms=82,
+    warp_schedulers_per_sm=4,
+    warp_insts_per_cycle=1.0,
+    clock_ghz=1.86,
+    dram_bandwidth_gbs=936.2,
+    l2_bytes=6 * MIB,
+    l1_bytes_per_sm=128 * KIB,
+    dram_bytes=24 * GIB,
+)
+
+#: Data-center Ampere part (A100-SXM4-40GB).
+A100 = DeviceSpec(
+    name="A100",
+    num_sms=108,
+    warp_schedulers_per_sm=4,
+    warp_insts_per_cycle=1.0,
+    clock_ghz=1.41,
+    dram_bandwidth_gbs=1555.0,
+    l2_bytes=40 * MIB,
+    l1_bytes_per_sm=192 * KIB,
+    dram_bytes=40 * GIB,
+    max_warps_per_sm=64,
+)
+
+#: A small embedded-class device (Xavier-like) for sweep ablations.
+EDGE_GPU = DeviceSpec(
+    name="EdgeGPU",
+    num_sms=8,
+    warp_schedulers_per_sm=4,
+    warp_insts_per_cycle=1.0,
+    clock_ghz=1.1,
+    dram_bandwidth_gbs=137.0,
+    l2_bytes=512 * KIB,
+    l1_bytes_per_sm=64 * KIB,
+    dram_bytes=8 * GIB,
+)
+
+DEVICE_PRESETS: Dict[str, DeviceSpec] = {
+    spec.name: spec for spec in (RTX_3080, RTX_3090, A100, EDGE_GPU)
+}

@@ -1,0 +1,272 @@
+"""Kernel descriptions submitted to the GPU model.
+
+A workload in this reproduction is a generator of
+:class:`KernelLaunch` objects.  Each launch references a
+:class:`KernelCharacteristics` record that describes *what the kernel
+does* in aggregate terms — grid geometry, warp-instruction count,
+instruction mix, and memory footprint.  These are the quantities a
+profiler such as Nsight Compute reports and the only quantities the
+paper's analysis consumes.
+
+Workload models compute these numbers from first principles (e.g. the
+molecular-dynamics engine counts actual neighbour pairs; the ML framework
+counts FLOPs from tensor shapes), so the characterization downstream is
+driven by real algorithmic structure rather than hard-coded results.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+
+def _check_fraction(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Fractional instruction mix of a kernel.
+
+    Fractions are of *warp* instructions.  ``fp32``, ``ld_st``,
+    ``branch`` and ``sync`` must sum to at most 1; the remainder is
+    integer/other work.
+    """
+
+    fp32: float = 0.4
+    ld_st: float = 0.25
+    branch: float = 0.05
+    sync: float = 0.01
+
+    def __post_init__(self) -> None:
+        for name in ("fp32", "ld_st", "branch", "sync"):
+            _check_fraction(name, getattr(self, name))
+        total = self.fp32 + self.ld_st + self.branch + self.sync
+        if total > 1.0 + 1e-9:
+            raise ValueError(
+                f"instruction mix fractions sum to {total:.3f} > 1"
+            )
+
+    @property
+    def other(self) -> float:
+        """Fraction of integer / miscellaneous instructions."""
+        return max(0.0, 1.0 - (self.fp32 + self.ld_st + self.branch + self.sync))
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Aggregate memory behaviour of one kernel launch.
+
+    ``bytes_read`` / ``bytes_written`` are *unique* application bytes
+    (compulsory traffic).  ``reuse_factor`` is the average number of
+    times each byte is touched (>= 1); the cache model decides where the
+    repeat touches hit.  ``l1_locality`` expresses how much of the reuse
+    is short-range (within a thread block / SM) and therefore eligible
+    for L1, as opposed to long-range reuse that only L2 can capture.
+    ``coalescence`` in (0, 1] is the fraction of each 32-byte DRAM
+    transaction that carries useful data; scattered (graph-style)
+    accesses have low coalescence and therefore inflate the transaction
+    count for the same unique footprint.
+    """
+
+    bytes_read: float
+    bytes_written: float = 0.0
+    reuse_factor: float = 1.0
+    l1_locality: float = 0.5
+    coalescence: float = 1.0
+    #: Fraction of the unique footprint expected to be resident in L2
+    #: when the kernel starts (producer-consumer reuse across kernels:
+    #: small working sets written by the previous kernel are still hot).
+    l2_carry_in: float = 0.0
+    working_set_bytes: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.bytes_read < 0 or self.bytes_written < 0:
+            raise ValueError("byte counts must be non-negative")
+        if self.reuse_factor < 1.0:
+            raise ValueError(
+                f"reuse_factor must be >= 1, got {self.reuse_factor}"
+            )
+        _check_fraction("l1_locality", self.l1_locality)
+        _check_fraction("l2_carry_in", self.l2_carry_in)
+        if not 0.0 < self.coalescence <= 1.0:
+            raise ValueError(
+                f"coalescence must be in (0, 1], got {self.coalescence}"
+            )
+        if self.working_set_bytes is not None and self.working_set_bytes < 0:
+            raise ValueError("working_set_bytes must be non-negative")
+
+    @property
+    def unique_bytes(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def total_access_bytes(self) -> float:
+        """Bytes moved between threads and the memory system (all levels)."""
+        return self.unique_bytes * self.reuse_factor
+
+    @property
+    def effective_working_set(self) -> float:
+        """Working set used by the cache model (defaults to unique bytes)."""
+        if self.working_set_bytes is not None:
+            return self.working_set_bytes
+        return self.unique_bytes
+
+
+@dataclass(frozen=True)
+class KernelCharacteristics:
+    """Aggregate description of a kernel launch.
+
+    Parameters
+    ----------
+    name:
+        Kernel symbol name; launches with the same name are aggregated
+        into one per-kernel profile record, mirroring how Nsight groups
+        invocations (the paper's ``Ti = sum_i r_i * t_i``).
+    grid_blocks, threads_per_block:
+        Launch geometry; drives occupancy and tail effects.
+    warp_insts:
+        Total dynamically executed warp instructions for one launch.
+    mix:
+        Instruction mix fractions.
+    memory:
+        Aggregate memory footprint.
+    ilp:
+        Average number of independent instructions available between
+        dependent ones inside a warp; higher ILP needs fewer warps to
+        hide latency.
+    mlp:
+        Memory-level parallelism: average number of outstanding memory
+        requests per warp.  Streaming kernels pipeline many loads (high
+        MLP); pointer-chasing kernels have MLP near 1.
+    tags:
+        Free-form labels (domain, suite) carried into the analysis.
+    """
+
+    name: str
+    grid_blocks: int
+    threads_per_block: int
+    warp_insts: float
+    mix: InstructionMix = field(default_factory=InstructionMix)
+    memory: MemoryFootprint = field(
+        default_factory=lambda: MemoryFootprint(bytes_read=0.0)
+    )
+    ilp: float = 2.0
+    mlp: float = 4.0
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("kernel name must be non-empty")
+        if self.grid_blocks <= 0:
+            raise ValueError(f"grid_blocks must be positive, got {self.grid_blocks}")
+        if self.threads_per_block <= 0 or self.threads_per_block > 1024:
+            raise ValueError(
+                f"threads_per_block must be in (0, 1024], got {self.threads_per_block}"
+            )
+        if self.warp_insts <= 0:
+            raise ValueError(f"warp_insts must be positive, got {self.warp_insts}")
+        if self.ilp < 1.0:
+            raise ValueError(f"ilp must be >= 1, got {self.ilp}")
+        if self.mlp < 1.0:
+            raise ValueError(f"mlp must be >= 1, got {self.mlp}")
+
+    @property
+    def warps_per_block(self) -> int:
+        return max(1, math.ceil(self.threads_per_block / 32))
+
+    @property
+    def total_warps(self) -> int:
+        return self.grid_blocks * self.warps_per_block
+
+    @property
+    def warp_insts_per_warp(self) -> float:
+        return self.warp_insts / self.total_warps
+
+    def scaled(self, factor: float, name: Optional[str] = None) -> "KernelCharacteristics":
+        """Return a copy with work (instructions, bytes, grid) scaled.
+
+        Used by workload models to replay a calibrated kernel at a
+        different problem size.
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        memory = replace(
+            self.memory,
+            bytes_read=self.memory.bytes_read * factor,
+            bytes_written=self.memory.bytes_written * factor,
+            working_set_bytes=(
+                None
+                if self.memory.working_set_bytes is None
+                else self.memory.working_set_bytes * factor
+            ),
+        )
+        return replace(
+            self,
+            name=name or self.name,
+            grid_blocks=max(1, round(self.grid_blocks * factor)),
+            warp_insts=self.warp_insts * factor,
+            memory=memory,
+        )
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """One kernel invocation in a workload's launch stream."""
+
+    kernel: KernelCharacteristics
+    stream_id: int = 0
+    phase: str = ""
+
+    @property
+    def name(self) -> str:
+        return self.kernel.name
+
+
+class LaunchStream:
+    """Ordered sequence of kernel launches produced by a workload.
+
+    Thin list wrapper with convenience constructors; keeps workload code
+    readable (``stream.launch(kernel)``) and lets integration tests make
+    assertions on structure (number of launches, distinct kernels).
+    """
+
+    def __init__(self, launches: Optional[Iterable[KernelLaunch]] = None) -> None:
+        self._launches: List[KernelLaunch] = list(launches or [])
+
+    def launch(
+        self,
+        kernel: KernelCharacteristics,
+        stream_id: int = 0,
+        phase: str = "",
+    ) -> KernelLaunch:
+        item = KernelLaunch(kernel=kernel, stream_id=stream_id, phase=phase)
+        self._launches.append(item)
+        return item
+
+    def extend(self, other: Iterable[KernelLaunch]) -> None:
+        self._launches.extend(other)
+
+    def __iter__(self) -> Iterator[KernelLaunch]:
+        return iter(self._launches)
+
+    def __len__(self) -> int:
+        return len(self._launches)
+
+    def __getitem__(self, index: int) -> KernelLaunch:
+        return self._launches[index]
+
+    @property
+    def kernel_names(self) -> List[str]:
+        """Distinct kernel names in first-launch order."""
+        seen: List[str] = []
+        for launch in self._launches:
+            if launch.name not in seen:
+                seen.append(launch.name)
+        return seen
+
+    @property
+    def total_warp_insts(self) -> float:
+        return sum(launch.kernel.warp_insts for launch in self._launches)

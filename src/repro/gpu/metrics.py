@@ -1,0 +1,153 @@
+"""Per-kernel metric records — the paper's Table IV vocabulary.
+
+:class:`KernelMetrics` is what the simulator emits for every launch and
+what the profiler aggregates per kernel name.  Field names follow
+Table IV of the paper; ``gips`` and ``instruction_intensity`` are the two
+roofline coordinates defined in Section IV ("Performance Model").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Tuple
+
+#: The four primary metrics of the correlation analysis (Fig. 8 rows).
+PRIMARY_METRICS: Tuple[str, ...] = (
+    "gips",
+    "instruction_intensity",
+    "sm_efficiency",
+    "warp_occupancy",
+)
+
+#: The Table IV profiler metrics (Fig. 8 columns).
+SECONDARY_METRICS: Tuple[str, ...] = (
+    "warp_occupancy",
+    "sm_efficiency",
+    "l1_hit_rate",
+    "l2_hit_rate",
+    "dram_read_throughput_gbs",
+    "ld_st_utilization",
+    "sp_utilization",
+    "fraction_branches",
+    "fraction_ld_st",
+    "execution_stall",
+    "pipe_stall",
+    "sync_stall",
+    "memory_stall",
+)
+
+
+@dataclass
+class KernelMetrics:
+    """Metrics for one kernel launch (or one aggregated kernel).
+
+    Counters (``warp_insts``, ``dram_transactions``, ``duration_s``,
+    ``invocations``) are additive across invocations; rates and ratios
+    are time-weighted when aggregated by the profiler.
+    """
+
+    name: str
+    duration_s: float
+    warp_insts: float
+    dram_transactions: float
+    invocations: int = 1
+
+    # Table IV metrics -------------------------------------------------
+    warp_occupancy: float = 0.0
+    sm_efficiency: float = 0.0
+    l1_hit_rate: float = 0.0
+    l2_hit_rate: float = 0.0
+    dram_read_throughput_gbs: float = 0.0
+    ld_st_utilization: float = 0.0
+    sp_utilization: float = 0.0
+    fraction_branches: float = 0.0
+    fraction_ld_st: float = 0.0
+    execution_stall: float = 0.0
+    pipe_stall: float = 0.0
+    sync_stall: float = 0.0
+    memory_stall: float = 0.0
+
+    # Provenance -------------------------------------------------------
+    tags: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {self.duration_s}")
+        if self.warp_insts <= 0:
+            raise ValueError(f"warp_insts must be positive, got {self.warp_insts}")
+        if self.dram_transactions < 0:
+            raise ValueError("dram_transactions must be non-negative")
+        if self.invocations < 1:
+            raise ValueError("invocations must be >= 1")
+
+    # Roofline coordinates ----------------------------------------------
+    @property
+    def gips(self) -> float:
+        """Performance: Giga warp instructions per second."""
+        return self.warp_insts / self.duration_s / 1e9
+
+    @property
+    def instruction_intensity(self) -> float:
+        """Warp instructions per 32-byte DRAM transaction.
+
+        For kernels with (near-)zero DRAM traffic the intensity is
+        effectively infinite; we clamp to instructions-per-single-
+        transaction so the value stays finite and plots on the far right
+        of the roofline.
+        """
+        return self.warp_insts / max(1.0, self.dram_transactions)
+
+    def metric(self, name: str) -> float:
+        """Fetch a metric by name (primary properties or Table IV field)."""
+        if name == "gips":
+            return self.gips
+        if name == "instruction_intensity":
+            return self.instruction_intensity
+        value = getattr(self, name)
+        if not isinstance(value, (int, float)):
+            raise KeyError(f"{name!r} is not a numeric metric")
+        return float(value)
+
+    def as_dict(self) -> Dict[str, float]:
+        """All numeric metrics keyed by name (for analysis data frames)."""
+        numeric: Dict[str, float] = {}
+        for item in fields(self):
+            value = getattr(self, item.name)
+            if isinstance(value, (int, float)) and item.name != "invocations":
+                numeric[item.name] = float(value)
+        numeric["invocations"] = float(self.invocations)
+        numeric["gips"] = self.gips
+        numeric["instruction_intensity"] = self.instruction_intensity
+        return numeric
+
+
+#: Human-readable descriptions, mirroring Table IV of the paper.
+METRIC_DESCRIPTIONS: Dict[str, str] = {
+    "warp_occupancy": "Average no. of active warps across all SMs",
+    "sm_efficiency": "Fraction of time w/ at least one active warp per SM",
+    "l1_hit_rate": "Fraction of accesses that hit in L1",
+    "l2_hit_rate": "Fraction of accesses that hit in L2",
+    "dram_read_throughput_gbs": "Total DRAM read bytes per second",
+    "ld_st_utilization": "Average load/store functional unit utilization",
+    "sp_utilization": "Average FP32 pipeline utilization",
+    "fraction_branches": "Fraction branch instructions",
+    "fraction_ld_st": "Fraction memory operations",
+    "execution_stall": "Stall ratio due to execution dependencies",
+    "pipe_stall": "Stall ratio due to busy pipeline",
+    "sync_stall": "Stall ratio due to synchronization",
+    "memory_stall": "Stall ratio due to memory accesses",
+    "gips": "Performance: Giga warp instructions per second",
+    "instruction_intensity": "Warp instructions per 32-byte DRAM transaction",
+}
+
+
+def metric_table() -> List[Tuple[str, str]]:
+    """(metric, description) rows in Table IV order."""
+    ordered = [m for m in SECONDARY_METRICS if m != "l2_hit_rate"]
+    rows: List[Tuple[str, str]] = []
+    for name in ordered:
+        if name == "l1_hit_rate":
+            rows.append(("L1/L2 hit rate", "Fraction of accesses that hit in L1 or L2"))
+        else:
+            rows.append((name, METRIC_DESCRIPTIONS[name]))
+    return rows

@@ -1,0 +1,84 @@
+"""Launch-stream simulator.
+
+:class:`GPUSimulator` is the top of the GPU substrate: it takes a
+:class:`~repro.gpu.kernel.LaunchStream` (or any iterable of launches)
+and returns one :class:`~repro.gpu.metrics.KernelMetrics` record per
+launch, in order.  Identical kernels are memoized, which keeps the
+simulation of workloads with millions of repeated launches cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.gpu.device import RTX_3080, DeviceSpec
+from repro.gpu.kernel import KernelCharacteristics, KernelLaunch
+from repro.gpu.memory import CacheModel
+from repro.gpu.metrics import KernelMetrics
+from repro.gpu.timing import TimingModel, TimingOptions
+
+
+@dataclass(frozen=True)
+class SimulationOptions:
+    """Options controlling a simulation run."""
+
+    timing: TimingOptions = TimingOptions()
+    #: Disable the cache model (every access goes to DRAM) — ablation.
+    model_caches: bool = True
+
+
+class _NoCacheModel(CacheModel):
+    """Ablation cache model: all traffic is compulsory DRAM traffic."""
+
+    def run(self, kernel: KernelCharacteristics):  # type: ignore[override]
+        result = super().run(kernel)
+        footprint = kernel.memory
+        txn = self.device.dram_transaction_bytes
+        total = footprint.total_access_bytes / footprint.coalescence
+        read_share = (
+            footprint.bytes_read / footprint.unique_bytes
+            if footprint.unique_bytes > 0
+            else 1.0
+        )
+        return type(result)(
+            l1_hit_rate=0.0,
+            l2_hit_rate=0.0,
+            dram_transactions=total / txn,
+            dram_read_bytes=total * read_share,
+            dram_write_bytes=total * (1.0 - read_share),
+            total_access_transactions=result.total_access_transactions,
+        )
+
+
+class GPUSimulator:
+    """Executes kernel launch streams on the analytical device model."""
+
+    def __init__(
+        self,
+        device: DeviceSpec = RTX_3080,
+        options: SimulationOptions | None = None,
+    ) -> None:
+        self.device = device
+        self.options = options or SimulationOptions()
+        cache_model = (
+            CacheModel(device)
+            if self.options.model_caches
+            else _NoCacheModel(device)
+        )
+        self.timing_model = TimingModel(
+            device, cache_model=cache_model, options=self.options.timing
+        )
+        self._memo: Dict[KernelCharacteristics, KernelMetrics] = {}
+
+    def run_kernel(self, kernel: KernelCharacteristics) -> KernelMetrics:
+        """Metrics for a single launch of *kernel* (memoized)."""
+        cached = self._memo.get(kernel)
+        if cached is None:
+            cached = self.timing_model.run(kernel)
+            self._memo[kernel] = cached
+        return cached
+
+    def run(self, launches: Iterable[KernelLaunch]) -> List[KernelMetrics]:
+        """Metrics for every launch in the stream, in order."""
+        return [self.run_kernel(launch.kernel) for launch in launches]

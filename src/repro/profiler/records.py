@@ -1,0 +1,213 @@
+"""Profile records: per-kernel aggregates and per-application profiles.
+
+The paper aggregates invocations of the same kernel: kernel *i* invoked
+``r_i`` times at ``t_i`` seconds each accumulates ``T_i = r_i * t_i``
+GPU time, and the kernel with the highest ``T_i`` is the *dominant*
+kernel (Section IV, "Dominant Kernels").  :class:`KernelProfile` holds
+that aggregate; :class:`ApplicationProfile` holds the full per-workload
+result with the Table I statistics as properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.gpu.metrics import KernelMetrics
+
+
+@dataclass
+class KernelProfile:
+    """Time-weighted aggregate of all invocations of one kernel."""
+
+    name: str
+    invocations: int
+    total_time_s: float
+    total_warp_insts: float
+    total_dram_transactions: float
+    metrics: KernelMetrics
+    tags: Tuple[str, ...] = ()
+
+    @property
+    def gips(self) -> float:
+        return self.total_warp_insts / self.total_time_s / 1e9
+
+    @property
+    def instruction_intensity(self) -> float:
+        return self.total_warp_insts / max(1.0, self.total_dram_transactions)
+
+    @property
+    def avg_time_per_invocation_s(self) -> float:
+        return self.total_time_s / self.invocations
+
+
+def _weighted_mean(pairs: Iterable[Tuple[float, float]]) -> float:
+    """Mean of (value, weight) pairs; 0 when total weight is 0."""
+    total = 0.0
+    weight_sum = 0.0
+    for value, weight in pairs:
+        total += value * weight
+        weight_sum += weight
+    return total / weight_sum if weight_sum > 0 else 0.0
+
+
+def aggregate_launches(
+    name: str, records: Sequence[KernelMetrics]
+) -> KernelProfile:
+    """Fold per-launch metrics of one kernel into a profile.
+
+    Counters add; ratio metrics are weighted by each launch's duration,
+    which matches how a profiler averages per-invocation samples.
+    """
+    if not records:
+        raise ValueError(f"no launch records for kernel {name!r}")
+    total_time = sum(r.duration_s for r in records)
+    total_insts = sum(r.warp_insts for r in records)
+    total_txn = sum(r.dram_transactions for r in records)
+
+    def avg(metric: str) -> float:
+        return _weighted_mean(
+            (getattr(r, metric), r.duration_s) for r in records
+        )
+
+    merged = KernelMetrics(
+        name=name,
+        duration_s=total_time,
+        warp_insts=total_insts,
+        dram_transactions=total_txn,
+        invocations=len(records),
+        warp_occupancy=avg("warp_occupancy"),
+        sm_efficiency=avg("sm_efficiency"),
+        l1_hit_rate=avg("l1_hit_rate"),
+        l2_hit_rate=avg("l2_hit_rate"),
+        dram_read_throughput_gbs=avg("dram_read_throughput_gbs"),
+        ld_st_utilization=avg("ld_st_utilization"),
+        sp_utilization=avg("sp_utilization"),
+        fraction_branches=avg("fraction_branches"),
+        fraction_ld_st=avg("fraction_ld_st"),
+        execution_stall=avg("execution_stall"),
+        pipe_stall=avg("pipe_stall"),
+        sync_stall=avg("sync_stall"),
+        memory_stall=avg("memory_stall"),
+        tags=records[0].tags,
+    )
+    return KernelProfile(
+        name=name,
+        invocations=len(records),
+        total_time_s=total_time,
+        total_warp_insts=total_insts,
+        total_dram_transactions=total_txn,
+        metrics=merged,
+        tags=records[0].tags,
+    )
+
+
+@dataclass
+class ApplicationProfile:
+    """Full profiling result for one workload.
+
+    Provides the paper's Table I statistics and the dominant-kernel
+    selections used throughout Section V.
+    """
+
+    workload: str
+    suite: str
+    domain: str
+    kernels: List[KernelProfile] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.kernels.sort(key=lambda k: k.total_time_s, reverse=True)
+
+    # -- basic totals ---------------------------------------------------
+    @property
+    def total_time_s(self) -> float:
+        return sum(k.total_time_s for k in self.kernels)
+
+    @property
+    def total_warp_insts(self) -> float:
+        return sum(k.total_warp_insts for k in self.kernels)
+
+    @property
+    def total_dram_transactions(self) -> float:
+        return sum(k.total_dram_transactions for k in self.kernels)
+
+    @property
+    def num_kernels(self) -> int:
+        """Number of distinct kernels — Table I's '100% execution time'."""
+        return len(self.kernels)
+
+    # -- aggregate roofline coordinates (Fig. 5) ------------------------
+    @property
+    def gips(self) -> float:
+        return self.total_warp_insts / self.total_time_s / 1e9
+
+    @property
+    def instruction_intensity(self) -> float:
+        return self.total_warp_insts / max(1.0, self.total_dram_transactions)
+
+    # -- Table I statistics ----------------------------------------------
+    @property
+    def total_invocations(self) -> int:
+        return sum(k.invocations for k in self.kernels)
+
+    @property
+    def weighted_avg_insts_per_kernel(self) -> float:
+        """Time-weighted average warp instructions per kernel.
+
+        Table I's 'weighted average no. warp instructions per kernel':
+        each kernel's instruction count weighted by its share of GPU
+        time.
+        """
+        total_time = self.total_time_s
+        if total_time <= 0:
+            return 0.0
+        return sum(
+            (k.total_warp_insts / k.invocations) * (k.total_time_s / total_time)
+            for k in self.kernels
+        )
+
+    # -- dominance -------------------------------------------------------
+    def kernels_for_time_fraction(self, fraction: float) -> List[KernelProfile]:
+        """Smallest prefix of time-ranked kernels covering *fraction*.
+
+        ``fraction=0.7`` yields the paper's dominant-kernel set.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        target = fraction * self.total_time_s
+        covered = 0.0
+        selected: List[KernelProfile] = []
+        for kernel in self.kernels:
+            selected.append(kernel)
+            covered += kernel.total_time_s
+            if covered >= target - 1e-12:
+                break
+        return selected
+
+    def num_kernels_for_fraction(self, fraction: float) -> int:
+        return len(self.kernels_for_time_fraction(fraction))
+
+    @property
+    def dominant_kernels(self) -> List[KernelProfile]:
+        """Kernels collectively covering >= 70 % of GPU time."""
+        return self.kernels_for_time_fraction(0.70)
+
+    @property
+    def dominant_kernel(self) -> KernelProfile:
+        """The single highest ``r_i x t_i`` kernel."""
+        return self.kernels[0]
+
+    def cumulative_time_fractions(self, max_kernels: Optional[int] = None) -> List[float]:
+        """Cumulative GPU-time fractions of time-ranked kernels (Fig. 3)."""
+        total = self.total_time_s
+        fractions: List[float] = []
+        covered = 0.0
+        for kernel in self.kernels[: max_kernels or len(self.kernels)]:
+            covered += kernel.total_time_s
+            fractions.append(covered / total)
+        return fractions
+
+    def time_shares(self) -> Dict[str, float]:
+        """Per-kernel share of total GPU time, keyed by kernel name."""
+        total = self.total_time_s
+        return {k.name: k.total_time_s / total for k in self.kernels}

@@ -1,0 +1,74 @@
+"""Steady-state region selection.
+
+The paper limits profiling of the long repetitive workloads (molecular
+dynamics steps, ML training iterations) to a steady-state region found
+with a fast tracing pre-pass.  We reproduce that: find the periodic part
+of the launch stream by detecting the recurring kernel-name cycle after
+warm-up, and keep a window of whole periods.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.gpu.kernel import KernelLaunch
+
+
+def _find_period(names: Sequence[str], start: int, max_period: int) -> int:
+    """Smallest period p such that names[start:] repeats with period p.
+
+    Returns 0 when no period is found.
+    """
+    n = len(names) - start
+    for period in range(1, min(max_period, n // 2) + 1):
+        repeats = n // period
+        if repeats < 2:
+            break
+        ok = True
+        # Compare the first cycle with every subsequent whole cycle; a
+        # partial check can be fooled by locally-constant prefixes
+        # (e.g. a run of identical kernel names inside a longer cycle).
+        for rep in range(1, repeats):
+            base = start
+            off = start + rep * period
+            if names[base : base + period] != names[off : off + period]:
+                ok = False
+                break
+        if ok:
+            return period
+    return 0
+
+
+def select_steady_state(
+    launches: Sequence[KernelLaunch],
+    warmup_fraction: float = 0.2,
+    max_period: int = 2048,
+    min_periods: int = 2,
+) -> List[KernelLaunch]:
+    """Crop a launch stream to a steady-state window of whole periods.
+
+    Skips the first ``warmup_fraction`` of launches (initialization,
+    allocator warm-up, autotuning), detects the repeating kernel cycle,
+    and returns every whole period from there to the end.  Falls back to
+    the full stream when no periodicity is detected — matching the
+    paper's treatment of the (non-repetitive) graph workloads.
+    """
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError(
+            f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
+        )
+    launches = list(launches)
+    if len(launches) < 4:
+        return launches
+
+    start = int(len(launches) * warmup_fraction)
+    names = [launch.name for launch in launches]
+    period = _find_period(names, start, max_period)
+    if period == 0:
+        return launches
+
+    available = (len(launches) - start) // period
+    if available < min_periods:
+        return launches
+    end = start + available * period
+    return launches[start:end]

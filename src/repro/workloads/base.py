@@ -1,0 +1,75 @@
+"""Workload abstraction.
+
+A workload describes itself (name, suite, domain, input data set — the
+columns of Tables I and III) and produces a kernel launch stream when
+run.  Scale is controlled by a ``scale`` parameter in (0, 1]: 1.0 is the
+paper's input size; smaller values shrink the problem proportionally so
+the full pipeline runs on a laptop.  Workload models must keep their
+*structure* (which kernels run, in what ratios) invariant under scaling.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.gpu.kernel import LaunchStream
+
+
+@dataclass(frozen=True)
+class WorkloadInfo:
+    """Static description of a workload (Table I / Table III columns)."""
+
+    name: str
+    abbr: str
+    suite: str
+    domain: str
+    description: str = ""
+    dataset: str = ""
+
+
+class Workload(abc.ABC):
+    """Base class for all benchmark models."""
+
+    #: Repetitive workloads (MD steps, training iterations) are cropped
+    #: to a steady-state window by the profiler, like in the paper.
+    repetitive: bool = False
+
+    def __init__(self, info: WorkloadInfo, scale: float = 1.0, seed: int = 0) -> None:
+        if not 0.0 < scale <= 1.0:
+            raise ValueError(f"scale must be in (0, 1], got {scale}")
+        self.info = info
+        self.scale = scale
+        self.seed = seed
+
+    # -- identity -------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.info.name
+
+    @property
+    def abbr(self) -> str:
+        return self.info.abbr
+
+    @property
+    def suite(self) -> str:
+        return self.info.suite
+
+    @property
+    def domain(self) -> str:
+        return self.info.domain
+
+    @property
+    def dataset(self) -> str:
+        return self.info.dataset
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(abbr={self.abbr!r}, suite={self.suite!r}, "
+            f"scale={self.scale})"
+        )
+
+    # -- behaviour --------------------------------------------------------
+    @abc.abstractmethod
+    def launch_stream(self) -> LaunchStream:
+        """Run the workload model and emit its kernel launches."""

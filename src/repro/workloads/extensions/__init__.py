@@ -1,0 +1,20 @@
+"""Extension workloads (the paper's future work, Section VI).
+
+The paper plans to "extend Cactus by analyzing and including additional
+modern-day applications".  This package adds three, registered under
+the ``CactusExt`` suite:
+
+* :class:`TransformerTraining` (TRF) — BERT-style encoder pre-training,
+  the dominant ML workload to emerge after the paper's snapshot;
+* :class:`PageRankWorkload` (PGR) — Gunrock-style PageRank over the
+  social graph (a second, all-edges-active graph pattern);
+* :class:`GCNTraining` (GCN) — graph-convolutional-network training,
+  which mixes the graph substrate's irregular gathers with the ML
+  substrate's dense GEMMs in a single application.
+"""
+
+from repro.workloads.extensions.gcn import GCNTraining
+from repro.workloads.extensions.pagerank import PageRankWorkload
+from repro.workloads.extensions.transformer import TransformerTraining
+
+__all__ = ["GCNTraining", "PageRankWorkload", "TransformerTraining"]

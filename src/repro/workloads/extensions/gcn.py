@@ -1,0 +1,133 @@
+"""GCN: graph-convolutional-network training on the social graph.
+
+The workload the paper's taxonomy does not yet cover: a single
+application that *combines* the graph substrate's irregular
+neighbourhood gathers (SpMM over the adjacency) with the ML substrate's
+dense GEMMs and autograd — per layer, ``H' = ReLU(A_hat @ H @ W)``.
+
+The launch stream therefore mixes both behavioural worlds in one
+profile: scattered low-coalescence aggregation kernels next to
+tile-reusing dense GEMMs, trained with cross-entropy + Adam.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.kernel import (
+    InstructionMix,
+    KernelCharacteristics,
+    LaunchStream,
+    MemoryFootprint,
+)
+from repro.workloads.base import Workload, WorkloadInfo
+from repro.workloads.graphs.csr import CSRGraph
+from repro.workloads.graphs.generator import social_network
+from repro.workloads.ml import kernels as K
+from repro.workloads.ml.optimizers import Adam
+from repro.workloads.ml.trace import Trace
+
+GCN_INFO = WorkloadInfo(
+    name="GCN",
+    abbr="GCN",
+    suite="CactusExt",
+    domain="GraphML",
+    description="Train a 2-layer graph convolutional network",
+    dataset="SOC-Twitter10 + node features",
+)
+
+_SOCIAL_VERTICES = 21_000_000
+_MIN_VERTICES = 20_000
+_FEATURES = 512  # Reddit-style node features
+_HIDDEN = 256
+_CLASSES = 41
+
+
+def _spmm_kernel(
+    n: int, edges: int, width: int, backward: bool = False
+) -> KernelCharacteristics:
+    """Neighbourhood aggregation: SpMM of A_hat with an n x width dense
+    matrix — one scattered row-gather per edge."""
+    direction = "backward" if backward else "forward"
+    return KernelCharacteristics(
+        name=f"gcn_spmm_aggregate_{direction}",
+        grid_blocks=max(1, edges // 64),
+        threads_per_block=256,
+        warp_insts=max(1.0, edges * (width / 2.0 + 8.0) / 32.0),
+        mix=InstructionMix(fp32=0.30, ld_st=0.40, branch=0.06, sync=0.02),
+        memory=MemoryFootprint(
+            bytes_read=edges * (width * 4.0 * 0.5 + 8.0) + n * width * 4.0,
+            bytes_written=n * width * 4.0,
+            reuse_factor=2.0,  # popular rows re-hit in L2
+            l1_locality=0.15,
+            coalescence=0.4,  # row gathers are contiguous per row
+        ),
+        ilp=2.0,
+        mlp=4.0,
+        tags=("graph", "ml", "spmm"),
+    )
+
+
+class GCNTraining(Workload):
+    """GCN: full-batch training of a 2-layer GCN."""
+
+    repetitive = True
+
+    def __init__(self, scale: float = 1.0, seed: int = 0, epochs: int = 6) -> None:
+        super().__init__(GCN_INFO, scale=scale, seed=seed)
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        self.epochs = epochs
+        params = (
+            _FEATURES * _HIDDEN + _HIDDEN + _HIDDEN * _CLASSES + _CLASSES
+        )
+        self.optimizer = Adam(params)
+
+    def _build_graph(self) -> CSRGraph:
+        n = max(_MIN_VERTICES, int(_SOCIAL_VERTICES * self.scale))
+        return social_network(n, seed=self.seed)
+
+    def launch_stream(self) -> LaunchStream:
+        graph = self._build_graph()
+        n = graph.num_vertices
+        edges = graph.num_edges
+
+        stream = LaunchStream()
+        trace = Trace(stream, phase="setup")
+        trace.add(K.fill_kernel(self.optimizer.parameter_count, op="normal"))
+        trace.add(K.elementwise_kernel(
+            "degree_normalize", float(n), insts_per_elem=6.0))
+
+        for epoch in range(self.epochs):
+            trace = Trace(stream, phase=f"epoch{epoch}")
+            self.optimizer.zero_grad(trace)
+
+            # Layer 1: aggregate raw features, project, activate.
+            trace.add(_spmm_kernel(n, edges, _FEATURES))
+            trace.add(K.gemm_kernel(n, _HIDDEN, _FEATURES))
+            trace.add(K.elementwise_kernel(
+                "relu", float(n * _HIDDEN), insts_per_elem=3.0))
+            trace.add(K.dropout_kernel(float(n * _HIDDEN)))
+
+            # Layer 2: aggregate hidden states, project to classes.
+            trace.add(_spmm_kernel(n, edges, _HIDDEN))
+            trace.add(K.gemm_kernel(n, _CLASSES, _HIDDEN))
+
+            # Loss over the labelled subset (10% of the nodes).
+            labelled = max(1, n // 10)
+            trace.add(K.log_softmax_kernel(labelled, _CLASSES))
+            trace.add(K.loss_kernel("nll", float(labelled)))
+            trace.add(K.loss_kernel("nll", float(labelled), backward=True))
+            trace.add(K.log_softmax_kernel(labelled, _CLASSES, backward=True))
+
+            # Backward: mirrored GEMMs and SpMM aggregations.
+            trace.add(K.gemm_kernel(n, _HIDDEN, _CLASSES, transposed=True))
+            trace.add(K.gemm_kernel(_HIDDEN, _CLASSES, n, transposed=True))
+            trace.add(_spmm_kernel(n, edges, _HIDDEN, backward=True))
+            trace.add(K.dropout_kernel(float(n * _HIDDEN), backward=True))
+            trace.add(K.elementwise_kernel(
+                "relu_backward", float(n * _HIDDEN), inputs=2,
+                insts_per_elem=3.0))
+            trace.add(K.gemm_kernel(_FEATURES, _HIDDEN, n, transposed=True))
+            trace.add(_spmm_kernel(n, edges, _FEATURES, backward=True))
+
+            self.optimizer.step(trace)
+        return stream

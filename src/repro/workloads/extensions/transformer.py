@@ -1,0 +1,201 @@
+"""TRF: BERT-style transformer encoder pre-training.
+
+A 6-layer encoder (hidden 512, 8 heads, FFN 2048) on 128-token
+sequences, trained with masked-LM cross-entropy and Adam.  Per layer
+and step the model launches the canonical transformer kernel menu:
+QKV/output projections, batched attention GEMMs, softmax over the
+attention scores, layer normalization, GELU, and the residual adds —
+plus their backward counterparts.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.kernel import (
+    InstructionMix,
+    KernelCharacteristics,
+    MemoryFootprint,
+)
+from repro.workloads.base import WorkloadInfo
+from repro.workloads.ml import kernels as K
+from repro.workloads.ml.layers import Embedding
+from repro.workloads.ml.optimizers import Adam
+from repro.workloads.ml.tensor import TensorSpec
+from repro.workloads.ml.trace import Trace
+from repro.workloads.ml.training import MLTrainingWorkload
+
+TRF_INFO = WorkloadInfo(
+    name="Transformer",
+    abbr="TRF",
+    suite="CactusExt",
+    domain="MachineLearning",
+    description="Pre-train a BERT-style encoder (masked LM)",
+    dataset="WikiText-style corpus",
+)
+
+_VOCAB = 16_000
+_HIDDEN = 512
+_HEADS = 8
+_FFN = 2_048
+_LAYERS = 6
+_SEQ = 128
+
+
+def layernorm_kernel(numel: float, backward: bool = False) -> KernelCharacteristics:
+    """Layer normalization: a fused two-pass rowwise kernel."""
+    direction = "backward" if backward else "forward"
+    return KernelCharacteristics(
+        name=f"layer_norm_{direction}",
+        grid_blocks=max(1, int(numel // (4 * 256))),
+        threads_per_block=256,
+        warp_insts=max(1.0, numel * (10.0 if backward else 7.0) / 32.0),
+        mix=InstructionMix(fp32=0.40, ld_st=0.35, branch=0.01, sync=0.05),
+        memory=MemoryFootprint(
+            bytes_read=numel * 4.0 * (3.0 if backward else 1.0),
+            bytes_written=numel * 4.0,
+            reuse_factor=2.0,
+            l1_locality=0.8,
+            coalescence=1.0,
+            l2_carry_in=K._carry_in(numel * 8.0),
+        ),
+        ilp=3.0,
+        mlp=8.0,
+        tags=("ml", "norm"),
+    )
+
+
+class TransformerTraining(MLTrainingWorkload):
+    """TRF: masked-LM pre-training of a small BERT encoder."""
+
+    base_batch = 32
+
+    def __init__(self, scale: float = 1.0, seed: int = 0, iterations: int = 6) -> None:
+        super().__init__(scale=scale, seed=seed, iterations=iterations)
+        self.embedding = Embedding(_VOCAB, _HIDDEN)
+        per_layer = (
+            4 * _HIDDEN * _HIDDEN  # QKV + output projections
+            + 2 * _HIDDEN * _FFN  # FFN up/down
+            + 4 * _HIDDEN  # layernorm gains/biases
+        )
+        params = self.embedding.parameter_count + _LAYERS * per_layer
+        self.optimizer = Adam(params)
+
+    def _info(self) -> WorkloadInfo:
+        return TRF_INFO
+
+    def setup(self, trace: Trace) -> None:
+        trace.add(K.fill_kernel(self.optimizer.parameter_count, op="normal"))
+
+    # ------------------------------------------------------------------
+    def _attention_block(self, trace: Trace, rows: int, batch: int) -> None:
+        # Fused QKV projection.
+        trace.add(K.gemm_kernel(rows, 3 * _HIDDEN, _HIDDEN))
+        # Batched score and context GEMMs (per head, batched symbol).
+        trace.add(
+            K.gemm_kernel(batch * _HEADS * _SEQ, _SEQ, _HIDDEN // _HEADS,
+                          name_prefix="bmm_sgemm")
+        )
+        trace.add(K.softmax_kernel(batch * _HEADS * _SEQ, _SEQ))
+        trace.add(K.dropout_kernel(float(batch * _HEADS * _SEQ * _SEQ)))
+        trace.add(
+            K.gemm_kernel(batch * _HEADS * _SEQ, _HIDDEN // _HEADS, _SEQ,
+                          name_prefix="bmm_sgemm")
+        )
+        # Output projection + residual + norm.
+        trace.add(K.gemm_kernel(rows, _HIDDEN, _HIDDEN))
+        trace.add(
+            K.elementwise_kernel("residual_add", float(rows * _HIDDEN),
+                                 inputs=2, insts_per_elem=2.0)
+        )
+        trace.add(layernorm_kernel(float(rows * _HIDDEN)))
+
+    def _ffn_block(self, trace: Trace, rows: int) -> None:
+        trace.add(K.gemm_kernel(rows, _FFN, _HIDDEN))
+        trace.add(
+            K.elementwise_kernel("gelu", float(rows * _FFN),
+                                 insts_per_elem=11.0)
+        )
+        trace.add(K.gemm_kernel(rows, _HIDDEN, _FFN))
+        trace.add(
+            K.elementwise_kernel("residual_add", float(rows * _HIDDEN),
+                                 inputs=2, insts_per_elem=2.0)
+        )
+        trace.add(layernorm_kernel(float(rows * _HIDDEN)))
+
+    def _attention_backward(self, trace: Trace, rows: int, batch: int) -> None:
+        trace.add(layernorm_kernel(float(rows * _HIDDEN), backward=True))
+        trace.add(K.gemm_kernel(rows, _HIDDEN, _HIDDEN, transposed=True))
+        trace.add(
+            K.gemm_kernel(batch * _HEADS * _SEQ, _SEQ, _HIDDEN // _HEADS,
+                          transposed=True, name_prefix="bmm_sgemm")
+        )
+        trace.add(K.dropout_kernel(float(batch * _HEADS * _SEQ * _SEQ),
+                                   backward=True))
+        trace.add(K.softmax_kernel(batch * _HEADS * _SEQ, _SEQ,
+                                   backward=True))
+        trace.add(
+            K.gemm_kernel(batch * _HEADS * _SEQ, _HIDDEN // _HEADS, _SEQ,
+                          transposed=True, name_prefix="bmm_sgemm")
+        )
+        trace.add(K.gemm_kernel(rows, 3 * _HIDDEN, _HIDDEN, transposed=True))
+        trace.add(K.gemm_kernel(3 * _HIDDEN, _HIDDEN, rows, transposed=True))
+
+    def _ffn_backward(self, trace: Trace, rows: int) -> None:
+        trace.add(layernorm_kernel(float(rows * _HIDDEN), backward=True))
+        trace.add(K.gemm_kernel(rows, _FFN, _HIDDEN, transposed=True))
+        trace.add(
+            K.elementwise_kernel("gelu_backward", float(rows * _FFN),
+                                 inputs=2, insts_per_elem=11.0)
+        )
+        trace.add(K.gemm_kernel(rows, _HIDDEN, _FFN, transposed=True))
+        trace.add(K.gemm_kernel(_FFN, _HIDDEN, rows, transposed=True))
+
+    # ------------------------------------------------------------------
+    def training_step(self, trace: Trace) -> None:
+        batch = self.batch
+        rows = batch * _SEQ
+        tokens = TensorSpec((_SEQ, batch))
+
+        self.optimizer.zero_grad(trace)
+        trace.add(K.copy_kernel(float(tokens.numel), op="copy"))
+        # Masked-LM corruption of 15% of the tokens.
+        trace.add(K.fill_kernel(float(tokens.numel), op="bernoulli"))
+        trace.add(
+            K.elementwise_kernel("mask_tokens", float(tokens.numel),
+                                 inputs=2, insts_per_elem=3.0)
+        )
+
+        self.embedding(trace, tokens)
+        trace.add(
+            K.elementwise_kernel("add_position_embeddings",
+                                 float(rows * _HIDDEN), inputs=2,
+                                 insts_per_elem=2.0)
+        )
+        trace.add(layernorm_kernel(float(rows * _HIDDEN)))
+
+        for _ in range(_LAYERS):
+            self._attention_block(trace, rows, batch)
+            self._ffn_block(trace, rows)
+
+        # Masked-LM head over the masked positions only (~15%).
+        masked = max(1, int(rows * 0.15))
+        trace.add(K.copy_kernel(float(masked * _HIDDEN), op="gather_masked"))
+        trace.add(K.gemm_kernel(masked, _VOCAB, _HIDDEN))
+        trace.add(K.log_softmax_kernel(masked, _VOCAB))
+        trace.add(K.loss_kernel("nll", float(masked)))
+        trace.add(K.loss_kernel("nll", float(masked), backward=True))
+        trace.add(K.log_softmax_kernel(masked, _VOCAB, backward=True))
+        trace.add(K.gemm_kernel(masked, _HIDDEN, _VOCAB, transposed=True))
+
+        for _ in range(_LAYERS):
+            self._ffn_backward(trace, rows)
+            self._attention_backward(trace, rows, batch)
+
+        trace.backward()  # embedding gradients
+        trace.add(K.reduce_kernel(float(self.optimizer.parameter_count),
+                                  name="reduce_grad_norm"))
+        trace.add(
+            K.elementwise_kernel("clip_grad_scale",
+                                 float(self.optimizer.parameter_count),
+                                 insts_per_elem=3.0)
+        )
+        self.optimizer.step(trace)

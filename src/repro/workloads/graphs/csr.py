@@ -1,0 +1,103 @@
+"""Compressed-sparse-row graph structure.
+
+The storage format Gunrock (and every GPU graph framework) operates on.
+All BFS levels, frontier sizes and traversed-edge counts downstream are
+computed on this structure with vectorized numpy operations.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+class CSRGraph:
+    """Directed graph in CSR form (``indptr``/``indices``)."""
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray) -> None:
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise ValueError("indptr and indices must be one-dimensional")
+        if len(indptr) < 1 or indptr[0] != 0:
+            raise ValueError("indptr must start with 0")
+        if indptr[-1] != len(indices):
+            raise ValueError(
+                f"indptr[-1] ({indptr[-1]}) must equal len(indices) "
+                f"({len(indices)})"
+            )
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        n = len(indptr) - 1
+        if len(indices) and (indices.min() < 0 or indices.max() >= n):
+            raise ValueError("indices contain out-of-range vertex ids")
+        self.indptr = indptr
+        self.indices = indices
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls, num_vertices: int, src: np.ndarray, dst: np.ndarray
+    ) -> "CSRGraph":
+        """Build a CSR graph from parallel edge arrays (duplicates kept)."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise ValueError("src and dst must have the same shape")
+        order = np.argsort(src, kind="stable")
+        src_sorted = src[order]
+        dst_sorted = dst[order]
+        counts = np.bincount(src_sorted, minlength=num_vertices)
+        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, dst_sorted)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.indices)
+
+    @property
+    def avg_degree(self) -> float:
+        return self.num_edges / max(1, self.num_vertices)
+
+    def out_degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        return self.indices[self.indptr[vertex] : self.indptr[vertex + 1]]
+
+    def frontier_edges(self, frontier: np.ndarray) -> int:
+        """Total out-edges of the frontier — the advance kernel's work."""
+        degrees = self.indptr[frontier + 1] - self.indptr[frontier]
+        return int(degrees.sum())
+
+    def expand(self, frontier: np.ndarray) -> np.ndarray:
+        """All neighbours of the frontier (with duplicates)."""
+        starts = self.indptr[frontier]
+        ends = self.indptr[frontier + 1]
+        lengths = ends - starts
+        total = int(lengths.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        # Vectorized multi-slice gather.
+        offsets = np.repeat(starts, lengths)
+        within = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(lengths) - lengths, lengths
+        )
+        return self.indices[offsets + within]
+
+    def degree_histogram(self, bins: int = 32) -> Tuple[np.ndarray, np.ndarray]:
+        """Log-spaced degree histogram (for generator validation)."""
+        degrees = self.out_degrees()
+        max_degree = max(1, int(degrees.max()))
+        edges = np.unique(
+            np.round(np.logspace(0, np.log10(max_degree + 1), bins)).astype(int)
+        )
+        hist, _ = np.histogram(degrees, bins=edges)
+        return hist, edges

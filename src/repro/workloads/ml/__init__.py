@@ -1,0 +1,29 @@
+"""Machine-learning workload substrate.
+
+A shape-level deep-learning framework: layers, a backward tape, and
+optimizers, all of which lower to CuDNN/cuBLAS-style GPU kernels with
+FLOP and byte counts computed from the tensor shapes.  The five Cactus
+ML workloads (DCG, NST, RFL, SPT, LGT of Table I) are PyTorch-tutorial
+models rebuilt on this framework; their training loops generate the
+kernel launch streams the paper profiles.
+"""
+
+from repro.workloads.ml.models.dcgan import DCGANTraining
+from repro.workloads.ml.models.dqn import ReinforcementLearningTraining
+from repro.workloads.ml.models.neural_style import NeuralStyleTraining
+from repro.workloads.ml.models.seq2seq import LanguageTranslationTraining
+from repro.workloads.ml.models.spatial_transformer import (
+    SpatialTransformerTraining,
+)
+from repro.workloads.ml.tensor import TensorSpec
+from repro.workloads.ml.trace import Trace
+
+__all__ = [
+    "DCGANTraining",
+    "ReinforcementLearningTraining",
+    "NeuralStyleTraining",
+    "LanguageTranslationTraining",
+    "SpatialTransformerTraining",
+    "TensorSpec",
+    "Trace",
+]

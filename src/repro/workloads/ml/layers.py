@@ -1,0 +1,363 @@
+"""Neural-network layers.
+
+Each layer implements ``forward(trace, x) -> TensorSpec`` (emit forward
+kernels, record a tape entry) and ``backward(trace, ctx)`` (emit
+backward kernels).  ``parameter_count`` feeds the optimizer's
+multi-tensor kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.workloads.ml import kernels as K
+from repro.workloads.ml.tensor import TensorSpec
+from repro.workloads.ml.trace import Trace
+
+
+class Module:
+    """Base layer/model class."""
+
+    def forward(self, trace: Trace, x: TensorSpec) -> TensorSpec:
+        raise NotImplementedError
+
+    def backward(self, trace: Trace, ctx: object) -> None:
+        raise NotImplementedError
+
+    @property
+    def parameter_count(self) -> int:
+        return 0
+
+    def __call__(self, trace: Trace, x: TensorSpec) -> TensorSpec:
+        return self.forward(trace, x)
+
+
+class Sequential(Module):
+    """Chain of modules (each records its own tape entry)."""
+
+    def __init__(self, *modules: Module) -> None:
+        self.modules: Tuple[Module, ...] = modules
+
+    def forward(self, trace: Trace, x: TensorSpec) -> TensorSpec:
+        for module in self.modules:
+            x = module(trace, x)
+        return x
+
+    def backward(self, trace: Trace, ctx: object) -> None:  # pragma: no cover
+        raise RuntimeError("Sequential children record themselves")
+
+    @property
+    def parameter_count(self) -> int:
+        return sum(m.parameter_count for m in self.modules)
+
+
+class Conv2d(Module):
+    """2D convolution (NCHW)."""
+
+    def __init__(
+        self, c_in: int, c_out: int, kernel_size: int, stride: int = 1
+    ) -> None:
+        if min(c_in, c_out, kernel_size, stride) < 1:
+            raise ValueError("conv parameters must be positive")
+        self.c_in = c_in
+        self.c_out = c_out
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    @property
+    def parameter_count(self) -> int:
+        return self.c_out * self.c_in * self.kernel_size ** 2 + self.c_out
+
+    def forward(self, trace: Trace, x: TensorSpec) -> TensorSpec:
+        batch, c, h, w = x.shape
+        if c != self.c_in:
+            raise ValueError(
+                f"Conv2d expected {self.c_in} channels, got {c} (shape {x.shape})"
+            )
+        winograd = K.uses_winograd(c, self.kernel_size, self.stride)
+        if winograd:
+            trace.add(K.winograd_transform_kernel(float(x.numel), "input"))
+        trace.add(
+            K.conv2d_forward_kernel(
+                batch, c, h, w, self.c_out, self.kernel_size, self.stride
+            )
+        )
+        out = TensorSpec((batch, self.c_out, h // self.stride, w // self.stride))
+        if winograd:
+            trace.add(K.winograd_transform_kernel(float(out.numel), "output"))
+        # Bias add is a fused epilogue in CuDNN 8; no separate kernel.
+        trace.record(self, (x, out))
+        return out
+
+    def backward(self, trace: Trace, ctx: Tuple[TensorSpec, TensorSpec]) -> None:
+        x, _ = ctx
+        batch, c, h, w = x.shape
+        trace.add(
+            K.conv2d_dgrad_kernel(
+                batch, c, h, w, self.c_out, self.kernel_size, self.stride
+            )
+        )
+        trace.add(
+            K.conv2d_wgrad_kernel(
+                batch, c, h, w, self.c_out, self.kernel_size, self.stride
+            )
+        )
+
+
+class ConvTranspose2d(Module):
+    """Transposed convolution (DCGAN generator upsampling)."""
+
+    def __init__(
+        self, c_in: int, c_out: int, kernel_size: int, stride: int = 2
+    ) -> None:
+        self.c_in = c_in
+        self.c_out = c_out
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    @property
+    def parameter_count(self) -> int:
+        return self.c_in * self.c_out * self.kernel_size ** 2 + self.c_out
+
+    def forward(self, trace: Trace, x: TensorSpec) -> TensorSpec:
+        batch, c, h, w = x.shape
+        oh, ow = h * self.stride, w * self.stride
+        # Transposed-conv forward is a dgrad computation.
+        trace.add(
+            K.conv2d_dgrad_kernel(
+                batch, self.c_out, oh, ow, c, self.kernel_size, self.stride
+            )
+        )
+        out = TensorSpec((batch, self.c_out, oh, ow))
+        trace.record(self, (x, out))
+        return out
+
+    def backward(self, trace: Trace, ctx: Tuple[TensorSpec, TensorSpec]) -> None:
+        x, out = ctx
+        batch = x.batch
+        oh, ow = out.shape[2], out.shape[3]
+        trace.add(
+            K.conv2d_forward_kernel(
+                batch, self.c_out, oh, ow, self.c_in,
+                self.kernel_size, self.stride,
+            )
+        )
+        trace.add(
+            K.conv2d_wgrad_kernel(
+                batch, self.c_out, oh, ow, self.c_in,
+                self.kernel_size, self.stride,
+            )
+        )
+
+
+class Linear(Module):
+    """Fully connected layer."""
+
+    def __init__(self, in_features: int, out_features: int) -> None:
+        if min(in_features, out_features) < 1:
+            raise ValueError("linear features must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+
+    @property
+    def parameter_count(self) -> int:
+        return self.in_features * self.out_features + self.out_features
+
+    def forward(self, trace: Trace, x: TensorSpec) -> TensorSpec:
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"Linear expected {self.in_features} features, got {x.shape}"
+            )
+        rows = x.numel // self.in_features
+        trace.add(K.gemm_kernel(rows, self.out_features, self.in_features))
+        out = TensorSpec(x.shape[:-1] + (self.out_features,))
+        trace.record(self, (x, out))
+        return out
+
+    def backward(self, trace: Trace, ctx: Tuple[TensorSpec, TensorSpec]) -> None:
+        x, _ = ctx
+        rows = x.numel // self.in_features
+        # dX = dY @ W^T ; dW = X^T @ dY
+        trace.add(
+            K.gemm_kernel(rows, self.in_features, self.out_features,
+                          transposed=True)
+        )
+        trace.add(
+            K.gemm_kernel(self.in_features, self.out_features, rows,
+                          transposed=True)
+        )
+
+
+class Activation(Module):
+    """Pointwise activation (relu, leaky_relu, tanh, sigmoid, elu)."""
+
+    _COSTS = {
+        "relu": 3.0,
+        "leaky_relu": 4.0,
+        "tanh": 8.0,
+        "sigmoid": 8.0,
+        "elu": 7.0,
+    }
+
+    def __init__(self, op: str) -> None:
+        if op not in self._COSTS:
+            raise ValueError(f"unknown activation {op!r}")
+        self.op = op
+
+    def forward(self, trace: Trace, x: TensorSpec) -> TensorSpec:
+        trace.add(
+            K.elementwise_kernel(
+                self.op, x.numel, insts_per_elem=self._COSTS[self.op]
+            )
+        )
+        trace.record(self, x)
+        return x
+
+    def backward(self, trace: Trace, ctx: TensorSpec) -> None:
+        trace.add(
+            K.elementwise_kernel(
+                f"{self.op}_backward", ctx.numel, inputs=2,
+                insts_per_elem=self._COSTS[self.op],
+            )
+        )
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over NCHW activations."""
+
+    def __init__(self, channels: int) -> None:
+        self.channels = channels
+
+    @property
+    def parameter_count(self) -> int:
+        return 2 * self.channels
+
+    def forward(self, trace: Trace, x: TensorSpec) -> TensorSpec:
+        trace.add(K.batchnorm_kernel(x.numel, self.channels))
+        trace.record(self, x)
+        return x
+
+    def backward(self, trace: Trace, ctx: TensorSpec) -> None:
+        trace.add(K.batchnorm_kernel(ctx.numel, self.channels, backward=True))
+
+
+class MaxPool2d(Module):
+    """Max pooling with square window == stride."""
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+
+    def forward(self, trace: Trace, x: TensorSpec) -> TensorSpec:
+        batch, c, h, w = x.shape
+        out = TensorSpec((batch, c, h // self.window, w // self.window))
+        trace.add(K.pooling_kernel(out.numel, self.window))
+        trace.record(self, out)
+        return out
+
+    def backward(self, trace: Trace, ctx: TensorSpec) -> None:
+        trace.add(K.pooling_kernel(ctx.numel, self.window, backward=True))
+
+
+class Dropout(Module):
+    """Fused dropout."""
+
+    def forward(self, trace: Trace, x: TensorSpec) -> TensorSpec:
+        trace.add(K.dropout_kernel(x.numel))
+        trace.record(self, x)
+        return x
+
+    def backward(self, trace: Trace, ctx: TensorSpec) -> None:
+        trace.add(K.dropout_kernel(ctx.numel, backward=True))
+
+
+class Flatten(Module):
+    """Reshape to (batch, -1): free, no kernel."""
+
+    def forward(self, trace: Trace, x: TensorSpec) -> TensorSpec:
+        return x.reshape(x.batch, -1)
+
+    def backward(self, trace: Trace, ctx: object) -> None:
+        pass
+
+
+class Embedding(Module):
+    """Token embedding table."""
+
+    def __init__(self, vocab: int, dim: int) -> None:
+        self.vocab = vocab
+        self.dim = dim
+
+    @property
+    def parameter_count(self) -> int:
+        return self.vocab * self.dim
+
+    def forward(self, trace: Trace, x: TensorSpec) -> TensorSpec:
+        tokens = x.numel
+        trace.add(K.embedding_kernel(tokens, self.dim))
+        out = TensorSpec(x.shape + (self.dim,))
+        trace.record(self, x)
+        return out
+
+    def backward(self, trace: Trace, ctx: TensorSpec) -> None:
+        trace.add(
+            K.embedding_kernel(
+                ctx.numel, self.dim, backward=True, vocab=self.vocab
+            )
+        )
+
+
+class LSTM(Module):
+    """Single-layer LSTM unrolled over time (CuDNN per-step kernels)."""
+
+    def __init__(self, input_dim: int, hidden: int, kind: str = "lstm") -> None:
+        if kind not in ("lstm", "gru"):
+            raise ValueError("kind must be 'lstm' or 'gru'")
+        self.input_dim = input_dim
+        self.hidden = hidden
+        self.kind = kind
+        self.gates = 4 if kind == "lstm" else 3
+
+    @property
+    def parameter_count(self) -> int:
+        g = self.gates
+        return g * self.hidden * (self.input_dim + self.hidden + 2)
+
+    def forward(self, trace: Trace, x: TensorSpec) -> TensorSpec:
+        """x is (seq_len, batch, input_dim)."""
+        seq_len, batch, _ = x.shape
+        for _ in range(seq_len):
+            # Input and recurrent projections + gate pointwise.
+            trace.add(
+                K.gemm_kernel(batch, self.gates * self.hidden, self.input_dim)
+            )
+            trace.add(
+                K.gemm_kernel(batch, self.gates * self.hidden, self.hidden)
+            )
+            trace.add(K.rnn_pointwise_kernel(batch, self.hidden, self.kind))
+        out = TensorSpec((seq_len, batch, self.hidden))
+        trace.record(self, (x, out))
+        return out
+
+    def backward(self, trace: Trace, ctx: Tuple[TensorSpec, TensorSpec]) -> None:
+        x, _ = ctx
+        seq_len, batch, _ = x.shape
+        for _ in range(seq_len):
+            trace.add(
+                K.rnn_pointwise_kernel(
+                    batch, self.hidden, self.kind, backward=True
+                )
+            )
+            trace.add(
+                K.gemm_kernel(
+                    batch, self.input_dim, self.gates * self.hidden,
+                    transposed=True,
+                )
+            )
+            trace.add(
+                K.gemm_kernel(
+                    self.gates * self.hidden, self.hidden, batch,
+                    transposed=True,
+                )
+            )

@@ -1,0 +1,1 @@
+"""The five Cactus machine-learning training workloads (Table I)."""

@@ -1,0 +1,155 @@
+"""DCG: DCGAN training on CelebA (Table I).
+
+The PyTorch DCGAN tutorial model: a five-layer transposed-convolution
+generator and a five-layer strided-convolution discriminator on
+64x64x3 images, trained with BCE loss and two Adam optimizers.  One
+training step performs the classic three passes: D on real, D on fake
+(detached), then G through D — which is why DCGAN launches so many
+distinct convolution kernels (forward, dgrad and wgrad variants of
+every layer, at several tile configurations).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadInfo
+from repro.workloads.ml import kernels as K
+from repro.workloads.ml.layers import (
+    Activation,
+    BatchNorm2d,
+    Conv2d,
+    ConvTranspose2d,
+    Sequential,
+)
+from repro.workloads.ml.optimizers import Adam
+from repro.workloads.ml.tensor import TensorSpec
+from repro.workloads.ml.trace import Trace
+from repro.workloads.ml.training import MLTrainingWorkload
+
+DCG_INFO = WorkloadInfo(
+    name="DCGAN",
+    abbr="DCG",
+    suite="Cactus",
+    domain="MachineLearning",
+    description="Train a GAN network",
+    dataset="Celeba",
+)
+
+_LATENT = 100
+_NGF = 64
+_NDF = 64
+
+
+def _generator() -> Sequential:
+    return Sequential(
+        ConvTranspose2d(_LATENT, _NGF * 8, 4, stride=4),  # 1 -> 4
+        BatchNorm2d(_NGF * 8),
+        Activation("relu"),
+        ConvTranspose2d(_NGF * 8, _NGF * 4, 4, stride=2),  # 4 -> 8
+        BatchNorm2d(_NGF * 4),
+        Activation("relu"),
+        ConvTranspose2d(_NGF * 4, _NGF * 2, 4, stride=2),  # 8 -> 16
+        BatchNorm2d(_NGF * 2),
+        Activation("relu"),
+        ConvTranspose2d(_NGF * 2, _NGF, 4, stride=2),  # 16 -> 32
+        BatchNorm2d(_NGF),
+        Activation("relu"),
+        ConvTranspose2d(_NGF, 3, 4, stride=2),  # 32 -> 64
+        Activation("tanh"),
+    )
+
+
+def _discriminator() -> Sequential:
+    return Sequential(
+        Conv2d(3, _NDF, 4, stride=2),  # 64 -> 32
+        Activation("leaky_relu"),
+        Conv2d(_NDF, _NDF * 2, 4, stride=2),  # 32 -> 16
+        BatchNorm2d(_NDF * 2),
+        Activation("leaky_relu"),
+        Conv2d(_NDF * 2, _NDF * 4, 4, stride=2),  # 16 -> 8
+        BatchNorm2d(_NDF * 4),
+        Activation("leaky_relu"),
+        Conv2d(_NDF * 4, _NDF * 8, 4, stride=2),  # 8 -> 4
+        BatchNorm2d(_NDF * 8),
+        Activation("leaky_relu"),
+        Conv2d(_NDF * 8, 1, 4, stride=4),  # 4 -> 1
+        Activation("sigmoid"),
+    )
+
+
+class DCGANTraining(MLTrainingWorkload):
+    """DCG: one epoch of DCGAN training (steady-state window)."""
+
+    base_batch = 128
+
+    def __init__(self, scale: float = 1.0, seed: int = 0, iterations: int = 8) -> None:
+        super().__init__(scale=scale, seed=seed, iterations=iterations)
+        self.generator = _generator()
+        self.discriminator = _discriminator()
+        self.opt_g = Adam(self.generator.parameter_count)
+        self.opt_d = Adam(self.discriminator.parameter_count)
+        self._step_count = 0
+
+    def _info(self) -> WorkloadInfo:
+        return DCG_INFO
+
+    def setup(self, trace: Trace) -> None:
+        for params in (
+            self.generator.parameter_count,
+            self.discriminator.parameter_count,
+        ):
+            trace.add(K.fill_kernel(params, op="normal"))
+
+    def training_step(self, trace: Trace) -> None:
+        batch = self.batch
+        real = TensorSpec((batch, 3, 64, 64))
+        noise = TensorSpec((batch, _LATENT, 1, 1))
+
+        # ---- D step: real batch ------------------------------------
+        self.opt_d.zero_grad(trace)
+        trace.add(K.copy_kernel(real.numel, op="copy"))  # H2D staging
+        # torchvision pipeline: crop/flip + normalization on device.
+        trace.add(
+            K.elementwise_kernel("random_flip", real.numel, insts_per_elem=3.0)
+        )
+        trace.add(
+            K.elementwise_kernel("normalize_images", real.numel, inputs=3,
+                                 insts_per_elem=4.0)
+        )
+        trace.add(K.fill_kernel(float(batch), op="ones"))  # real labels
+        d_real = self.discriminator(trace, real)
+        trace.add(K.loss_kernel("bce", d_real.numel))
+        trace.add(K.loss_kernel("bce", d_real.numel, backward=True))
+        trace.backward()
+
+        # ---- D step: fake batch (G runs without grad tape) ---------
+        trace.add(K.fill_kernel(noise.numel, op="normal"))
+        trace.add(K.fill_kernel(float(batch), op="zeros"))  # fake labels
+        with trace.no_grad():
+            fake = self.generator(trace, noise)
+        d_fake = self.discriminator(trace, fake)
+        trace.add(K.loss_kernel("bce", d_fake.numel))
+        trace.add(K.loss_kernel("bce", d_fake.numel, backward=True))
+        trace.backward()
+        self.opt_d.step(trace)
+
+        # ---- G step: through D -------------------------------------
+        self.opt_g.zero_grad(trace)
+        fake = self.generator(trace, noise)
+        d_out = self.discriminator(trace, fake)
+        trace.add(K.loss_kernel("bce", d_out.numel))
+        trace.add(K.loss_kernel("bce", d_out.numel, backward=True))
+        trace.backward()
+        self.opt_g.step(trace)
+
+        # Per-layer conv bias gradients (column reductions) and the
+        # loss scalars reported every iteration.
+        trace.add(K.reduce_kernel(float(batch) * 512, name="reduce_bias_grad"))
+        trace.add(K.reduce_kernel(float(batch), name="reduce_loss_mean"))
+        # Periodic sample-grid snapshot, as the tutorial renders fakes.
+        if self._step_count % 4 == 0:
+            trace.add(
+                K.elementwise_kernel("denormalize_images", fake.numel,
+                                     insts_per_elem=4.0)
+            )
+            trace.add(K.copy_kernel(fake.numel, op="image_grid"))
+        self._step_count += 1

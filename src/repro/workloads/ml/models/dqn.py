@@ -1,0 +1,162 @@
+"""RFL: Deep-Q-Network training on the Flappy Bird game (Table I).
+
+The DeepMind DQN architecture on 84x84x4 frame stacks with two actions
+(flap / don't).  One training step reproduces the full RL loop, which
+is what makes RFL launch so many *small* kernels (Table I: 50 kernels,
+2.1 M warp instructions per kernel on average — the smallest in the ML
+group):
+
+1. act: policy forward at batch 1 + argmax (epsilon-greedy),
+2. replay buffer: frame preprocessing and minibatch assembly copies,
+3. target network forward (no grad) + max over actions,
+4. TD target + Huber/MSE loss, policy backward, Adam step,
+5. periodic target-network sync (parameter copy).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadInfo
+from repro.workloads.ml import kernels as K
+from repro.workloads.ml.layers import (
+    Activation,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Sequential,
+)
+from repro.workloads.ml.optimizers import Adam
+from repro.workloads.ml.tensor import TensorSpec
+from repro.workloads.ml.trace import Trace
+from repro.workloads.ml.training import MLTrainingWorkload
+
+RFL_INFO = WorkloadInfo(
+    name="Reinforcement Learning",
+    abbr="RFL",
+    suite="Cactus",
+    domain="MachineLearning",
+    description="Train a CNN with Deep-Q network",
+    dataset="Flappy bird game",
+)
+
+_ACTIONS = 2
+_FRAME = 80  # the Flappy Bird DQN uses 80x80 grayscale frame stacks
+
+
+def _q_network() -> Sequential:
+    return Sequential(
+        Conv2d(4, 32, 8, stride=4),  # 80 -> 20
+        Activation("relu"),
+        MaxPool2d(2),  # 20 -> 10
+        Conv2d(32, 64, 4, stride=2),  # 10 -> 5
+        Activation("relu"),
+        Conv2d(64, 64, 3, stride=1),  # winograd-eligible
+        Activation("relu"),
+        Flatten(),
+        Linear(64 * 5 * 5, 512),
+        Activation("relu"),
+        Linear(512, _ACTIONS),
+    )
+
+
+class ReinforcementLearningTraining(MLTrainingWorkload):
+    """RFL: DQN training loop."""
+
+    base_batch = 32
+    #: Sync the target network every N steps (DQN standard practice).
+    target_sync_interval = 4
+
+    def __init__(self, scale: float = 1.0, seed: int = 0, iterations: int = 8) -> None:
+        super().__init__(scale=scale, seed=seed, iterations=iterations)
+        self.policy = _q_network()
+        self.target = _q_network()
+        self.optimizer = Adam(self.policy.parameter_count)
+        self._step_count = 0
+
+    def _info(self) -> WorkloadInfo:
+        return RFL_INFO
+
+    def setup(self, trace: Trace) -> None:
+        trace.add(K.fill_kernel(self.policy.parameter_count, op="normal"))
+        trace.add(K.copy_kernel(self.policy.parameter_count, op="param_sync"))
+
+    def training_step(self, trace: Trace) -> None:
+        batch = self.batch
+        frame = TensorSpec((1, 4, _FRAME, _FRAME))
+        minibatch = TensorSpec((batch, 4, _FRAME, _FRAME))
+
+        # 1. act: preprocess the new frame, stack it, pick an action
+        #    (epsilon-greedy with a device-side RNG draw).
+        trace.add(
+            K.elementwise_kernel("resize_bilinear", float(_FRAME * _FRAME),
+                                 inputs=2, insts_per_elem=9.0)
+        )
+        trace.add(
+            K.elementwise_kernel("cast_uint8_float", float(_FRAME * _FRAME),
+                                 insts_per_elem=2.0)
+        )
+        trace.add(
+            K.elementwise_kernel("frame_to_gray", float(_FRAME * _FRAME),
+                                 inputs=3, insts_per_elem=5.0)
+        )
+        trace.add(K.copy_kernel(frame.numel, op="frame_stack"))
+        with trace.no_grad():
+            q_online = self.policy(trace, frame)
+        trace.add(K.fill_kernel(64.0, op="uniform"))  # epsilon draw
+        trace.add(K.reduce_kernel(float(q_online.numel), name="reduce_argmax"))
+        trace.add(
+            K.elementwise_kernel("where_action", 64.0, inputs=3,
+                                 insts_per_elem=3.0)
+        )
+
+        # 2. replay: binarize + store the new transition, then gather
+        #    the training minibatch from the buffer.
+        trace.add(
+            K.elementwise_kernel("threshold_binarize", float(_FRAME * _FRAME),
+                                 insts_per_elem=2.0)
+        )
+        trace.add(
+            K.elementwise_kernel("cast_float_uint8", frame.numel,
+                                 insts_per_elem=2.0)
+        )
+        trace.add(K.copy_kernel(frame.numel, op="store_transition"))
+        trace.add(K.copy_kernel(minibatch.numel, op="replay_gather"))
+        trace.add(K.copy_kernel(minibatch.numel, op="replay_gather"))  # s'
+
+        # 3. target values.
+        with trace.no_grad():
+            q_next = self.target(trace, minibatch)
+        trace.add(K.reduce_kernel(float(q_next.numel), name="reduce_max_rows"))
+        trace.add(
+            K.elementwise_kernel("clamp_reward", float(batch),
+                                 insts_per_elem=3.0)
+        )
+        trace.add(
+            K.elementwise_kernel("mul_done_mask", float(batch), inputs=2,
+                                 insts_per_elem=2.0)
+        )
+        trace.add(
+            K.elementwise_kernel("td_target", float(batch), inputs=3,
+                                 insts_per_elem=5.0)
+        )
+
+        # 4. learn.
+        self.optimizer.zero_grad(trace)
+        q_pred = self.policy(trace, minibatch)
+        trace.add(
+            K.elementwise_kernel("gather_q_actions", float(batch), inputs=2,
+                                 insts_per_elem=4.0)
+        )
+        trace.add(K.loss_kernel("mse", float(batch)))
+        trace.add(K.loss_kernel("mse", float(batch), backward=True))
+        trace.backward()
+        self.optimizer.step(trace)
+        trace.add(K.reduce_kernel(float(batch), name="reduce_loss_mean"))
+        trace.add(K.copy_kernel(float(batch), op="loss_readback"))
+
+        # 5. periodic target sync.
+        self._step_count += 1
+        if self._step_count % self.target_sync_interval == 0:
+            trace.add(
+                K.copy_kernel(self.policy.parameter_count, op="param_sync")
+            )

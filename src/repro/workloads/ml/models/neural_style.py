@@ -1,0 +1,143 @@
+"""NST: neural style transfer training (Table I).
+
+The PyTorch neural-style tutorial: a VGG-19 feature extractor with
+style (gram-matrix MSE) losses at conv1_1..conv5_1 and a content loss
+at conv4_2; the *input image* is the trainable parameter, optimized
+with an LBFGS-style optimizer (each step evaluates the network and
+performs several vector operations for the line search/history).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.workloads.base import WorkloadInfo
+from repro.workloads.ml import kernels as K
+from repro.workloads.ml.layers import Activation, Conv2d, MaxPool2d, Module
+from repro.workloads.ml.tensor import TensorSpec
+from repro.workloads.ml.trace import Trace
+from repro.workloads.ml.training import MLTrainingWorkload
+
+NST_INFO = WorkloadInfo(
+    name="Neural Style",
+    abbr="NST",
+    suite="Cactus",
+    domain="MachineLearning",
+    description="Train a CNN to generate artistic image",
+    dataset="Original and artistic images",
+)
+
+#: VGG-19 feature blocks up to conv5_1 with style/content tap points:
+#: (out_channels, convs_in_block).
+_VGG_BLOCKS: Tuple[Tuple[int, int], ...] = (
+    (64, 2),
+    (128, 2),
+    (256, 4),
+    (512, 4),
+    (512, 1),  # only conv5_1 is needed for the last style loss
+)
+
+
+class _GramLoss(Module):
+    """Style loss: gram matrix (C x C GEMM over HW) + MSE."""
+
+    def forward(self, trace: Trace, x: TensorSpec) -> TensorSpec:
+        batch, c, h, w = x.shape
+        trace.add(K.gemm_kernel(c, c, h * w, name_prefix="gram_sgemm"))
+        trace.add(K.loss_kernel("mse", float(c * c)))
+        trace.record(self, x)
+        return x
+
+    def backward(self, trace: Trace, ctx: TensorSpec) -> None:
+        batch, c, h, w = ctx.shape
+        trace.add(K.loss_kernel("mse", float(c * c), backward=True))
+        # dL/dx of the gram product: another GEMM back to C x HW.
+        trace.add(
+            K.gemm_kernel(c, h * w, c, transposed=True, name_prefix="gram_sgemm")
+        )
+
+
+class _ContentLoss(Module):
+    """Content loss: plain MSE on the feature map."""
+
+    def forward(self, trace: Trace, x: TensorSpec) -> TensorSpec:
+        trace.add(K.loss_kernel("mse", x.numel))
+        trace.record(self, x)
+        return x
+
+    def backward(self, trace: Trace, ctx: TensorSpec) -> None:
+        trace.add(K.loss_kernel("mse", ctx.numel, backward=True))
+
+
+class NeuralStyleTraining(MLTrainingWorkload):
+    """NST: optimize an image against style + content losses."""
+
+    #: The tutorial optimizes a single 512x512 image; scale shrinks the
+    #: image edge instead of a batch dimension.
+    base_batch = 1
+    base_image = 512
+
+    def __init__(self, scale: float = 1.0, seed: int = 0, iterations: int = 8) -> None:
+        super().__init__(scale=scale, seed=seed, iterations=iterations)
+        self.image = max(64, int(self.base_image * (scale ** 0.5)))
+        self.layers: List[Module] = []
+        c_in = 3
+        for block_index, (c_out, convs) in enumerate(_VGG_BLOCKS):
+            for conv_index in range(convs):
+                self.layers.append(Conv2d(c_in, c_out, 3))
+                self.layers.append(Activation("relu"))
+                c_in = c_out
+                if conv_index == 0:
+                    self.layers.append(_GramLoss())  # style tap at convN_1
+                if block_index == 3 and conv_index == 1:
+                    self.layers.append(_ContentLoss())  # conv4_2
+            if block_index < len(_VGG_BLOCKS) - 1:
+                self.layers.append(MaxPool2d(2))
+
+    def _info(self) -> WorkloadInfo:
+        return NST_INFO
+
+    def setup(self, trace: Trace) -> None:
+        # Clone the content image into the trainable input.
+        trace.add(K.copy_kernel(3.0 * self.image * self.image, op="copy"))
+
+    def training_step(self, trace: Trace) -> None:
+        x = TensorSpec((1, 3, self.image, self.image))
+        # VGG expects ImageNet-normalized inputs.
+        trace.add(
+            K.elementwise_kernel("normalize_images", x.numel, inputs=3,
+                                 insts_per_elem=4.0)
+        )
+        for layer in self.layers:
+            x = layer(trace, x)
+        # Total-variation regularizer on the image.
+        pixels_tv = 3.0 * self.image * self.image
+        trace.add(
+            K.elementwise_kernel("tv_loss", pixels_tv, inputs=2,
+                                 insts_per_elem=6.0)
+        )
+        trace.backward()
+        trace.add(
+            K.elementwise_kernel("tv_loss_backward", pixels_tv, inputs=2,
+                                 insts_per_elem=6.0)
+        )
+        # LBFGS closure bookkeeping: history dot products and the
+        # direction update over the image parameter.
+        pixels = 3.0 * self.image * self.image
+        for _ in range(2):
+            trace.add(K.reduce_kernel(pixels, name="reduce_dot"))
+        trace.add(
+            K.elementwise_kernel("lbfgs_direction", pixels, inputs=3,
+                                 insts_per_elem=6.0)
+        )
+        trace.add(
+            K.elementwise_kernel("clamp_image", pixels, insts_per_elem=3.0)
+        )
+        # The normalization layer back-propagates into the image, and the
+        # tutorial reports both loss terms every step.
+        trace.add(
+            K.elementwise_kernel("normalize_images_backward", pixels,
+                                 inputs=2, insts_per_elem=4.0)
+        )
+        trace.add(K.reduce_kernel(16.0, name="reduce_loss_mean"))
+        trace.add(K.reduce_kernel(pixels, name="reduce_bias_grad"))

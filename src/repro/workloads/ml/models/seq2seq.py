@@ -1,0 +1,274 @@
+"""LGT: sequence-to-sequence translation training (Table I).
+
+The torchtext tutorial model the paper profiles: a German-to-English
+encoder/decoder with Bahdanau attention on a Spacy-tokenized corpus —
+a *bidirectional GRU* encoder, a per-step attentive GRU decoder with a
+large vocabulary projection, teacher forcing, padding masks, gradient
+clipping and Adam.
+
+The hand-written per-timestep loop is what gives LGT the largest kernel
+menu of the suite (Table I: 66 distinct kernels): every decoder step
+launches projection GEMMs at several shapes, attention score/softmax/
+context kernels, *unfused* GRU gate kernels, slicing/concatenation
+utilities, and the output projection; PyTorch 1.7's unfused Adam adds
+its six pointwise kernels on top.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadInfo
+from repro.workloads.ml import kernels as K
+from repro.workloads.ml.layers import Embedding
+from repro.workloads.ml.optimizers import Adam
+from repro.workloads.ml.tensor import TensorSpec
+from repro.workloads.ml.trace import Trace
+from repro.workloads.ml.training import MLTrainingWorkload
+
+LGT_INFO = WorkloadInfo(
+    name="Language Translation",
+    abbr="LGT",
+    suite="Cactus",
+    domain="MachineLearning",
+    description="Train seq2seq model to translate sentences",
+    dataset="Spacy German news",
+)
+
+_SRC_VOCAB = 7_853  # Multi30k German vocabulary
+_TGT_VOCAB = 5_893  # Multi30k English vocabulary
+_EMBED = 256
+_HIDDEN = 512
+_SRC_LEN = 24
+_TGT_LEN = 22
+_GATES = 3  # GRU
+
+
+class LanguageTranslationTraining(MLTrainingWorkload):
+    """LGT: attentive GRU seq2seq training."""
+
+    base_batch = 64
+
+    def __init__(self, scale: float = 1.0, seed: int = 0, iterations: int = 4) -> None:
+        super().__init__(scale=scale, seed=seed, iterations=iterations)
+        self.src_embedding = Embedding(_SRC_VOCAB, _EMBED)
+        self.tgt_embedding = Embedding(_TGT_VOCAB, _EMBED)
+        params = (
+            self.src_embedding.parameter_count
+            + self.tgt_embedding.parameter_count
+            # encoder GRU (both directions) + bridge fc
+            + 2 * _GATES * _HIDDEN * (_EMBED + _HIDDEN + 2)
+            + 2 * _HIDDEN * _HIDDEN
+            # attention fc + v
+            + (2 * _HIDDEN + _HIDDEN) * _HIDDEN + _HIDDEN
+            # decoder GRU + output projection
+            + _GATES * _HIDDEN * (_EMBED + _HIDDEN + _HIDDEN + 2)
+            + (_EMBED + 2 * _HIDDEN) * _TGT_VOCAB
+        )
+        self.optimizer = Adam(params)
+
+    def _info(self) -> WorkloadInfo:
+        return LGT_INFO
+
+    def setup(self, trace: Trace) -> None:
+        trace.add(K.fill_kernel(self.optimizer.parameter_count, op="normal"))
+
+    # -- building blocks -------------------------------------------------
+    def _gru_cell_forward(self, trace: Trace, batch: int, input_dim: int) -> None:
+        """One GRU step: input & recurrent projections + unfused gates."""
+        trace.add(K.gemm_kernel(batch, _GATES * _HIDDEN, input_dim))
+        trace.add(K.gemm_kernel(batch, _GATES * _HIDDEN, _HIDDEN))
+        trace.add(
+            K.elementwise_kernel("add_gate_projections",
+                                 float(batch * _GATES * _HIDDEN),
+                                 inputs=2, insts_per_elem=2.0)
+        )
+        trace.add(
+            K.copy_kernel(float(batch * _GATES * _HIDDEN), op="chunk_gates")
+        )
+        for kernel in K.rnn_gate_kernels(batch, _HIDDEN, kind="gru"):
+            trace.add(kernel)
+
+    def _gru_cell_backward(self, trace: Trace, batch: int, input_dim: int) -> None:
+        for kernel in K.rnn_gate_kernels(batch, _HIDDEN, kind="gru",
+                                         backward=True):
+            trace.add(kernel)
+        trace.add(
+            K.gemm_kernel(batch, input_dim, _GATES * _HIDDEN, transposed=True)
+        )
+        trace.add(
+            K.gemm_kernel(_GATES * _HIDDEN, _HIDDEN, batch, transposed=True)
+        )
+
+    def _attention_forward(self, trace: Trace, batch: int) -> None:
+        """Bahdanau attention: energy fc + v-dot + softmax + context."""
+        rows = batch * _SRC_LEN
+        # energy = tanh(W [h ; enc_outputs])
+        trace.add(K.gemm_kernel(rows, _HIDDEN, 2 * _HIDDEN))
+        trace.add(
+            K.elementwise_kernel("tanh", float(rows * _HIDDEN),
+                                 insts_per_elem=8.0)
+        )
+        # scores = v . energy  (a GEMV over the hidden dimension), with
+        # the padding positions masked out before the softmax.
+        trace.add(K.gemm_kernel(rows, 1, _HIDDEN, name_prefix="gemv2T_kernel"))
+        trace.add(
+            K.elementwise_kernel("attn_masked_fill", float(rows),
+                                 insts_per_elem=2.0)
+        )
+        trace.add(K.softmax_kernel(batch, _SRC_LEN))
+        # context = attention-weighted sum of encoder states: a batched
+        # product — every batch item owns its encoder-output matrix.
+        trace.add(K.batched_gemm_kernel(batch, 1, _HIDDEN, _SRC_LEN,
+                                        name_prefix="attn_sgemm"))
+
+    def _attention_backward(self, trace: Trace, batch: int) -> None:
+        rows = batch * _SRC_LEN
+        trace.add(K.batched_gemm_kernel(batch, 1, _SRC_LEN, _HIDDEN,
+                                        transposed=True,
+                                        name_prefix="attn_sgemm"))
+        trace.add(K.softmax_kernel(batch, _SRC_LEN, backward=True))
+        trace.add(K.gemm_kernel(rows, _HIDDEN, 1, transposed=True,
+                                name_prefix="gemv2T_kernel"))
+        trace.add(
+            K.elementwise_kernel("tanh_backward", float(rows * _HIDDEN),
+                                 inputs=2, insts_per_elem=8.0)
+        )
+        trace.add(K.gemm_kernel(rows, 2 * _HIDDEN, _HIDDEN, transposed=True))
+
+    # -- the training step -------------------------------------------------
+    def training_step(self, trace: Trace) -> None:
+        batch = self.batch
+        src_tokens = TensorSpec((_SRC_LEN, batch))
+        tgt_tokens = TensorSpec((_TGT_LEN, batch))
+        dec_input_dim = _EMBED + _HIDDEN  # [embedding ; context]
+
+        self.optimizer.zero_grad(trace)
+        # Batch staging: host copy, length-sort (BucketIterator), padding
+        # mask construction.
+        trace.add(K.copy_kernel(float(src_tokens.numel), op="copy"))
+        trace.add(K.copy_kernel(float(src_tokens.numel), op="index_select_sort"))
+        trace.add(
+            K.elementwise_kernel("ne_scalar", float(src_tokens.numel),
+                                 insts_per_elem=2.0)
+        )
+        trace.add(
+            K.copy_kernel(float(src_tokens.numel * _EMBED), op="pack_padded")
+        )
+
+        # ---- encoder (bidirectional GRU) -----------------------------
+        self.src_embedding(trace, src_tokens)
+        trace.add(K.dropout_kernel(float(src_tokens.numel * _EMBED)))
+        trace.add(K.fill_kernel(float(2 * batch * _HIDDEN), op="zeros"))
+        trace.add(
+            K.copy_kernel(float(src_tokens.numel * _EMBED), op="flip_sequence")
+        )
+        for _ in range(_SRC_LEN):
+            self._gru_cell_forward(trace, batch, _EMBED)  # forward dir
+            self._gru_cell_forward(trace, batch, _EMBED)  # backward dir
+        # Bridge: concat final fwd/bwd states -> decoder initial hidden.
+        trace.add(K.copy_kernel(float(batch * 2 * _HIDDEN), op="cat"))
+        trace.add(K.gemm_kernel(batch, _HIDDEN, 2 * _HIDDEN))
+        trace.add(
+            K.elementwise_kernel("tanh", float(batch * _HIDDEN),
+                                 insts_per_elem=8.0)
+        )
+        # Unpack + reshape: (src_len, batch, 2H) -> (batch, src_len, 2H).
+        trace.add(
+            K.copy_kernel(float(_SRC_LEN * batch * 2 * _HIDDEN),
+                          op="pad_packed")
+        )
+        trace.add(K.transpose_kernel(float(_SRC_LEN * batch * 2 * _HIDDEN)))
+        trace.add(
+            K.copy_kernel(float(_SRC_LEN * batch * 2 * _HIDDEN),
+                          op="contiguous")
+        )
+
+        # ---- decoder (teacher forcing, one step per target token) ----
+        self.tgt_embedding(trace, tgt_tokens)
+        trace.add(K.fill_kernel(float(_TGT_LEN), op="bernoulli"))
+        trace.add(
+            K.elementwise_kernel("lt_scalar", float(_TGT_LEN),
+                                 insts_per_elem=2.0)
+        )
+        for _ in range(_TGT_LEN):
+            trace.add(
+                K.copy_kernel(float(batch * _EMBED), op="narrow")  # token t
+            )
+            # hidden.unsqueeze(1).repeat(1, src_len, 1) feeds the energy fc
+            trace.add(
+                K.copy_kernel(float(batch * _SRC_LEN * _HIDDEN),
+                              op="repeat_hidden")
+            )
+            self._attention_forward(trace, batch)
+            trace.add(
+                K.copy_kernel(float(batch * dec_input_dim), op="cat")
+            )
+            self._gru_cell_forward(trace, batch, dec_input_dim)
+            # Project [h ; context ; embedding] to the target vocabulary.
+            trace.add(K.gemm_kernel(batch, _TGT_VOCAB, _EMBED + 2 * _HIDDEN))
+            # Stack this step's logits into the (tgt_len, batch, vocab)
+            # output tensor, then the greedy next-token pick (used when
+            # teacher forcing is off).
+            trace.add(
+                K.copy_kernel(float(batch * _TGT_VOCAB), op="stack_outputs")
+            )
+            trace.add(
+                K.reduce_kernel(float(batch * _TGT_VOCAB),
+                                name="reduce_argmax")
+            )
+
+        # ---- loss with padding mask ----------------------------------
+        rows = _TGT_LEN * batch
+        trace.add(K.log_softmax_kernel(rows, _TGT_VOCAB))
+        trace.add(
+            K.elementwise_kernel("masked_fill", float(rows),
+                                 inputs=2, insts_per_elem=2.0)
+        )
+        trace.add(K.reduce_kernel(float(rows), name="reduce_count_nonpad"))
+        trace.add(K.loss_kernel("nll", float(rows)))
+        trace.add(
+            K.elementwise_kernel("div_scalar", float(rows),
+                                 insts_per_elem=2.0)
+        )
+        trace.add(K.loss_kernel("nll", float(rows), backward=True))
+        trace.add(K.log_softmax_kernel(rows, _TGT_VOCAB, backward=True))
+
+        # ---- decoder backward (reverse time) -------------------------
+        for _ in range(_TGT_LEN):
+            trace.add(
+                K.gemm_kernel(batch, _EMBED + 2 * _HIDDEN, _TGT_VOCAB,
+                              transposed=True)
+            )
+            self._gru_cell_backward(trace, batch, dec_input_dim)
+            self._attention_backward(trace, batch)
+        # Output-projection weight gradient (accumulated over steps).
+        trace.add(
+            K.gemm_kernel(_EMBED + 2 * _HIDDEN, _TGT_VOCAB, rows,
+                          transposed=True)
+        )
+
+        # ---- encoder backward ----------------------------------------
+        trace.add(K.gemm_kernel(batch, 2 * _HIDDEN, _HIDDEN, transposed=True))
+        for _ in range(_SRC_LEN):
+            self._gru_cell_backward(trace, batch, _EMBED)
+            self._gru_cell_backward(trace, batch, _EMBED)
+        trace.add(K.dropout_kernel(float(src_tokens.numel * _EMBED),
+                                   backward=True))
+        # Embedding gradients + the tape (embeddings recorded themselves).
+        trace.backward()
+
+        # ---- clip + step ----------------------------------------------
+        trace.add(
+            K.elementwise_kernel("square", float(self.optimizer.parameter_count),
+                                 insts_per_elem=2.0)
+        )
+        trace.add(K.reduce_kernel(float(self.optimizer.parameter_count),
+                                  name="reduce_grad_norm"))
+        trace.add(
+            K.elementwise_kernel("clip_grad_scale",
+                                 float(self.optimizer.parameter_count),
+                                 insts_per_elem=3.0)
+        )
+        trace.add(K.reduce_kernel(float(self.optimizer.parameter_count / 100),
+                                  name="reduce_bias_grad"))
+        self.optimizer.step(trace)
+        trace.add(K.reduce_kernel(float(rows), name="reduce_loss_mean"))

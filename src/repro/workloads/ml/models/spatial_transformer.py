@@ -1,0 +1,125 @@
+"""SPT: spatial transformer network training on MNIST (Table I).
+
+The PyTorch spatial-transformer tutorial: a small localization network
+regresses an affine transform, ``affine_grid`` + ``grid_sample`` warp
+the input, and a LeNet-style classifier is trained with NLL loss and
+SGD.  The sampler kernels (coordinate generation and bilinear
+gathering) are what distinguish SPT's kernel menu from a plain CNN.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadInfo
+from repro.workloads.ml import kernels as K
+from repro.workloads.ml.layers import (
+    Activation,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Module,
+    Sequential,
+)
+from repro.workloads.ml.optimizers import SGD
+from repro.workloads.ml.tensor import TensorSpec
+from repro.workloads.ml.trace import Trace
+from repro.workloads.ml.training import MLTrainingWorkload
+
+SPT_INFO = WorkloadInfo(
+    name="Spatial Transformation",
+    abbr="SPT",
+    suite="Cactus",
+    domain="MachineLearning",
+    description="Train a spatial transformer network",
+    dataset="MNIST",
+)
+
+
+class _SpatialSampler(Module):
+    """affine_grid + grid_sample, with their backward kernels."""
+
+    def forward(self, trace: Trace, x: TensorSpec) -> TensorSpec:
+        batch, _, h, w = x.shape
+        grid_points = float(batch * h * w)
+        trace.add(
+            K.elementwise_kernel("affine_grid_generator", grid_points,
+                                 inputs=1, outputs=2, insts_per_elem=12.0)
+        )
+        trace.add(K.grid_sample_kernel(float(x.numel)))
+        trace.record(self, x)
+        return x
+
+    def backward(self, trace: Trace, ctx: TensorSpec) -> None:
+        trace.add(K.grid_sample_kernel(float(ctx.numel), backward=True))
+        batch, _, h, w = ctx.shape
+        trace.add(
+            K.elementwise_kernel("affine_grid_backward", float(batch * h * w),
+                                 inputs=2, insts_per_elem=10.0)
+        )
+
+
+class SpatialTransformerTraining(MLTrainingWorkload):
+    """SPT: STN training with SGD on MNIST."""
+
+    base_batch = 64
+
+    def __init__(self, scale: float = 1.0, seed: int = 0, iterations: int = 8) -> None:
+        super().__init__(scale=scale, seed=seed, iterations=iterations)
+        self.localization = Sequential(
+            Conv2d(1, 8, 7),
+            MaxPool2d(2),
+            Activation("relu"),
+            Conv2d(8, 10, 5),
+            MaxPool2d(2),
+            Activation("relu"),
+            Flatten(),
+            Linear(10 * 7 * 7, 32),
+            Activation("relu"),
+            Linear(32, 6),
+        )
+        self.sampler = _SpatialSampler()
+        self.classifier = Sequential(
+            Conv2d(1, 10, 5),
+            MaxPool2d(2),
+            Activation("relu"),
+            Conv2d(10, 20, 5),
+            Dropout(),
+            MaxPool2d(2),
+            Activation("relu"),
+            Flatten(),
+            Linear(20 * 7 * 7, 50),
+            Activation("relu"),
+            Dropout(),
+            Linear(50, 10),
+        )
+        params = (
+            self.localization.parameter_count
+            + self.classifier.parameter_count
+        )
+        self.optimizer = SGD(params)
+
+    def _info(self) -> WorkloadInfo:
+        return SPT_INFO
+
+    def setup(self, trace: Trace) -> None:
+        trace.add(
+            K.fill_kernel(self.optimizer.parameter_count, op="normal")
+        )
+
+    def training_step(self, trace: Trace) -> None:
+        x = TensorSpec((self.batch, 1, 28, 28))
+        self.optimizer.zero_grad(trace)
+        trace.add(K.copy_kernel(x.numel, op="copy"))  # batch staging
+
+        theta = self.localization(trace, x)
+        del theta  # feeds the sampler's affine grid
+        warped = self.sampler(trace, x)
+        logits = self.classifier(trace, warped)
+
+        trace.add(K.softmax_kernel(self.batch, logits.shape[-1]))
+        trace.add(K.loss_kernel("nll", float(self.batch)))
+        trace.add(K.loss_kernel("nll", float(self.batch), backward=True))
+        trace.add(K.softmax_kernel(self.batch, logits.shape[-1], backward=True))
+        trace.backward()
+        self.optimizer.step(trace)

@@ -1,0 +1,69 @@
+"""Optimizers: zero-grad + the unfused per-op update kernels.
+
+PyTorch 1.7's optimizers are *not* fused: each step launches a short
+sequence of pointwise kernels over the parameter tensors (``mul_``,
+``add_``, ``addcmul_``, ``addcdiv_``, ``sqrt``, ...), which is both why
+the optimizer rarely shows up as a single dominant kernel and why ML
+traces contain so many distinct elementwise symbols.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.ml import kernels as K
+from repro.workloads.ml.trace import Trace
+
+
+class Optimizer:
+    """Base optimizer over a parameter count."""
+
+    def __init__(self, parameter_count: int) -> None:
+        if parameter_count < 1:
+            raise ValueError("parameter_count must be >= 1")
+        self.parameter_count = parameter_count
+
+    def zero_grad(self, trace: Trace) -> None:
+        trace.add(K.fill_kernel(self.parameter_count, op="zero"))
+
+    def step(self, trace: Trace) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """SGD with momentum: three pointwise passes over the parameters."""
+
+    def step(self, trace: Trace) -> None:
+        p = float(self.parameter_count)
+        # buf = momentum * buf
+        trace.add(K.elementwise_kernel("mul_scalar", p, insts_per_elem=2.0))
+        # buf += grad
+        trace.add(
+            K.elementwise_kernel("add_tensor", p, inputs=2, insts_per_elem=2.0)
+        )
+        # param -= lr * buf
+        trace.add(
+            K.elementwise_kernel("axpy", p, inputs=2, insts_per_elem=3.0)
+        )
+
+
+class Adam(Optimizer):
+    """Adam: the classic six-kernel unfused update sequence."""
+
+    def step(self, trace: Trace) -> None:
+        p = float(self.parameter_count)
+        # exp_avg = beta1 * exp_avg  /  exp_avg_sq = beta2 * exp_avg_sq
+        trace.add(K.elementwise_kernel("mul_scalar", p, insts_per_elem=2.0))
+        trace.add(K.elementwise_kernel("mul_scalar", p, insts_per_elem=2.0))
+        # exp_avg += (1 - beta1) * grad
+        trace.add(
+            K.elementwise_kernel("add_tensor", p, inputs=2, insts_per_elem=2.0)
+        )
+        # exp_avg_sq += (1 - beta2) * grad * grad
+        trace.add(
+            K.elementwise_kernel("addcmul", p, inputs=3, insts_per_elem=3.0)
+        )
+        # denom = sqrt(exp_avg_sq) + eps
+        trace.add(K.elementwise_kernel("sqrt_add", p, insts_per_elem=4.0))
+        # param -= lr * exp_avg / denom
+        trace.add(
+            K.elementwise_kernel("addcdiv", p, inputs=3, insts_per_elem=5.0)
+        )

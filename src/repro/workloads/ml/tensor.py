@@ -1,0 +1,61 @@
+"""Tensor shape metadata.
+
+The framework never materializes tensor *values* — kernels are costed
+entirely from shapes, which is all a profiler-level reproduction needs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Shape (and element size) of a tensor flowing through the model."""
+
+    shape: Tuple[int, ...]
+    dtype_bytes: int = 4  # fp32, as in the paper's single-precision runs
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise ValueError("shape must be non-empty")
+        if any(dim <= 0 for dim in self.shape):
+            raise ValueError(f"shape dims must be positive, got {self.shape}")
+        if self.dtype_bytes <= 0:
+            raise ValueError("dtype_bytes must be positive")
+
+    @property
+    def numel(self) -> int:
+        return math.prod(self.shape)
+
+    @property
+    def bytes(self) -> int:
+        return self.numel * self.dtype_bytes
+
+    @property
+    def batch(self) -> int:
+        return self.shape[0]
+
+    def reshape(self, *shape: int) -> "TensorSpec":
+        """Reshape with one optional -1 wildcard (numel-preserving)."""
+        shape_list = list(shape)
+        if shape_list.count(-1) > 1:
+            raise ValueError("at most one -1 allowed in reshape")
+        if -1 in shape_list:
+            known = math.prod(d for d in shape_list if d != -1)
+            if known == 0 or self.numel % known:
+                raise ValueError(
+                    f"cannot reshape {self.shape} to {tuple(shape)}"
+                )
+            shape_list[shape_list.index(-1)] = self.numel // known
+        result = TensorSpec(tuple(shape_list), self.dtype_bytes)
+        if result.numel != self.numel:
+            raise ValueError(
+                f"reshape changes element count: {self.shape} -> {tuple(shape)}"
+            )
+        return result
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "x".join(str(d) for d in self.shape)

@@ -1,0 +1,57 @@
+"""Execution trace with a backward tape.
+
+:class:`Trace` is the recording context a model runs inside: layers add
+their forward kernels to the launch stream and push ``(module, ctx)``
+entries onto the tape; :meth:`Trace.backward` replays the tape in
+reverse, letting every module emit its backward kernels — a shape-level
+reproduction of PyTorch's autograd.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.gpu.kernel import KernelCharacteristics, LaunchStream
+
+
+class Trace:
+    """Records kernel launches and the autograd tape for one step."""
+
+    def __init__(self, stream: LaunchStream, phase: str = "") -> None:
+        self.stream = stream
+        self.phase = phase
+        self.tape: List[Tuple[Any, Any]] = []
+        self.grad_enabled = True
+
+    def add(self, kernel: KernelCharacteristics) -> None:
+        """Launch *kernel* in the current phase."""
+        self.stream.launch(kernel, phase=self.phase)
+
+    def record(self, module: Any, ctx: Any) -> None:
+        """Push a tape entry for the backward pass."""
+        if self.grad_enabled:
+            self.tape.append((module, ctx))
+
+    def backward(self) -> None:
+        """Replay the tape in reverse, emitting backward kernels."""
+        for module, ctx in reversed(self.tape):
+            module.backward(self, ctx)
+        self.tape.clear()
+
+    def no_grad(self) -> "_NoGrad":
+        """Context manager disabling tape recording (inference passes)."""
+        return _NoGrad(self)
+
+
+class _NoGrad:
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+        self._previous = True
+
+    def __enter__(self) -> Trace:
+        self._previous = self.trace.grad_enabled
+        self.trace.grad_enabled = False
+        return self.trace
+
+    def __exit__(self, *exc: object) -> None:
+        self.trace.grad_enabled = self._previous

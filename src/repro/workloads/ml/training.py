@@ -1,0 +1,50 @@
+"""Training-loop driver shared by the five ML workloads.
+
+The paper profiles the *training phase* of each model for a steady-state
+window of iterations; accordingly each workload runs a setup phase
+(weight initialization) followed by ``iterations`` identical training
+steps, and the profiler's steady-state selection crops to whole steps.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.gpu.kernel import LaunchStream
+from repro.workloads.base import Workload, WorkloadInfo
+from repro.workloads.ml.trace import Trace
+
+
+class MLTrainingWorkload(Workload):
+    """Base class: N identical training iterations after a setup phase."""
+
+    repetitive = True
+
+    #: Batch size (or other scale carrier) at paper scale; the workload
+    #: ``scale`` multiplies it (minimum of 2 to keep shapes sane).
+    base_batch: int = 64
+
+    def __init__(self, scale: float = 1.0, seed: int = 0, iterations: int = 8) -> None:
+        super().__init__(self._info(), scale=scale, seed=seed)
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self.iterations = iterations
+        self.batch = max(2, int(math.floor(self.base_batch * scale)))
+
+    # -- hooks ---------------------------------------------------------
+    def _info(self) -> WorkloadInfo:
+        raise NotImplementedError
+
+    def setup(self, trace: Trace) -> None:
+        """One-time kernels (weight init); cropped as warm-up."""
+
+    def training_step(self, trace: Trace) -> None:
+        raise NotImplementedError
+
+    # -- Workload interface -----------------------------------------------
+    def launch_stream(self) -> LaunchStream:
+        stream = LaunchStream()
+        self.setup(Trace(stream, phase="setup"))
+        for i in range(self.iterations):
+            self.training_step(Trace(stream, phase=f"iter{i}"))
+        return stream

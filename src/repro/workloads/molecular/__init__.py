@@ -1,0 +1,24 @@
+"""Molecular-dynamics workload substrate.
+
+A reduced-scale but *real* MD engine: particle systems are generated and
+binned into cell lists, neighbour pairs are counted for actual
+positions, and each simulation step emits the kernel launches a
+GPU-accelerated MD package performs (non-bonded pair forces, PME/PPPM
+electrostatics, bonded terms, constraints, integration).  The Gromacs
+and LAMMPS workload models (GMS, LMR, LMC of Table I) sit on top.
+"""
+
+from repro.workloads.molecular.gromacs import GromacsNPT
+from repro.workloads.molecular.lammps import LammpsColloid, LammpsRhodopsin
+from repro.workloads.molecular.neighbor import CellList, NeighborStats
+from repro.workloads.molecular.system import ParticleSystem, SystemSpec
+
+__all__ = [
+    "GromacsNPT",
+    "LammpsColloid",
+    "LammpsRhodopsin",
+    "CellList",
+    "NeighborStats",
+    "ParticleSystem",
+    "SystemSpec",
+]

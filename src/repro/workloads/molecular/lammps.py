@@ -1,0 +1,298 @@
+"""LMR and LMC: the two LAMMPS workloads of Table I.
+
+The paper's key observation about LAMMPS (Observation #3) is that the
+*same code base executes different kernels for different inputs*:
+
+* **LMR** (rhodopsin, 32 K atoms): a solvated all-atom protein with
+  CHARMM force field — long-range PPPM electrostatics, four bonded-term
+  kernels, and a heavy ``pair_lj_charmm_coul_long`` kernel.  15 distinct
+  kernels, dominated by two.
+* **LMC** (colloid, 60 K particles): a coarse-grained colloid model —
+  no electrostatics, no bonded terms, but frequent re-neighbouring, a
+  Langevin thermostat and an analytically heavier pair style.  9
+  distinct kernels with three dominating.
+
+Both classes share the same engine; the kernel menu differs because the
+physics differs — which is exactly the input sensitivity the paper
+describes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.gpu.kernel import LaunchStream
+from repro.workloads.base import Workload, WorkloadInfo
+from repro.workloads.molecular import forces
+from repro.workloads.molecular.neighbor import CellList
+from repro.workloads.molecular.system import COLLOID, RHODOPSIN, ParticleSystem
+
+LMR_INFO = WorkloadInfo(
+    name="LAMMPS1",
+    abbr="LMR",
+    suite="Cactus",
+    domain="Molecular",
+    description="Protein simulation",
+    dataset="Rhodopsin (32K atoms)",
+)
+
+LMC_INFO = WorkloadInfo(
+    name="LAMMPS2",
+    abbr="LMC",
+    suite="Cactus",
+    domain="Molecular",
+    description="Pairwise interactions between particles",
+    dataset="Colloid (60K atoms)",
+)
+
+
+class LammpsRhodopsin(Workload):
+    """LMR: LAMMPS rhodopsin benchmark (CHARMM + PPPM)."""
+
+    repetitive = True
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int = 0,
+        steps: int = 40,
+        reneighbor_interval: int = 10,
+    ) -> None:
+        super().__init__(LMR_INFO, scale=scale, seed=seed)
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        self.steps = steps
+        self.reneighbor_interval = reneighbor_interval
+        self.spec = RHODOPSIN.scaled(scale)
+
+    def launch_stream(self) -> LaunchStream:
+        system = ParticleSystem(self.spec, seed=self.seed)
+        cell_list = CellList(system)
+        stats = cell_list.build()
+
+        n_atoms = self.spec.n_atoms
+        # PPPM uses a coarser grid than Gromacs PME (order-5 stencil).
+        grid_dim = max(12, math.ceil(system.box / 0.22))
+        grid_points = grid_dim ** 3
+        # CHARMM bonded-term split, roughly following the rhodopsin deck.
+        n_bonds = int(n_atoms * 0.72)
+        n_angles = int(n_atoms * 0.55)
+        n_dihedrals = int(n_atoms * 0.62)
+        n_impropers = int(n_atoms * 0.12)
+        n_halo = int(n_atoms * 0.10)
+
+        stream = LaunchStream()
+        for step in range(self.steps):
+            reneighbor = step > 0 and step % self.reneighbor_interval == 0
+            if reneighbor:
+                system.perturb(0.01)
+                stats = cell_list.build()
+
+            stream.launch(
+                forces.integrate_kernel(
+                    "nve_integrate_initial",
+                    n_atoms,
+                    thread_insts_per_atom=20.0,
+                    bytes_read_per_atom=28.0,
+                    bytes_written_per_atom=16.0,
+                ),
+                phase="update",
+            )
+            stream.launch(
+                forces.halo_exchange_kernel("comm_forward_comm", n_halo),
+                phase="comm",
+            )
+            if reneighbor:
+                stream.launch(
+                    forces.neighbor_bin_kernel("neighbor_bin_atoms", n_atoms),
+                    phase="neighbor",
+                )
+                stream.launch(
+                    forces.neighbor_build_kernel(
+                        "neighbor_build_full",
+                        n_atoms,
+                        stats.total_pairs,
+                        candidate_ratio=4.4,  # full lists: both directions
+                    ),
+                    phase="neighbor",
+                )
+            stream.launch(
+                forces.nonbonded_pair_kernel(
+                    "pair_lj_charmm_coul_long",
+                    n_atoms,
+                    stats.total_pairs,
+                    thread_insts_per_pair=200.0,
+                    imbalance_cv=stats.imbalance_cv,
+                    # Full neighbour lists store one 4-byte id per pair.
+                    pairlist_bytes_per_pair=4.0,
+                ),
+                phase="force",
+            )
+            stream.launch(
+                forces.charge_spread_kernel(
+                    "pppm_make_rho", n_atoms, grid_points, spline_order=5
+                ),
+                phase="pppm",
+            )
+            stream.launch(
+                forces.fft_3d_kernel("pppm_fft_forward", grid_points),
+                phase="pppm",
+            )
+            stream.launch(
+                forces.poisson_solve_kernel("pppm_poisson_solve", grid_points),
+                phase="pppm",
+            )
+            stream.launch(
+                forces.fft_3d_kernel("pppm_fft_back", grid_points),
+                phase="pppm",
+            )
+            stream.launch(
+                forces.force_gather_kernel(
+                    "pppm_fieldforce", n_atoms, grid_points, spline_order=5
+                ),
+                phase="pppm",
+            )
+            stream.launch(
+                forces.bonded_kernel("bond_harmonic", n_bonds, n_atoms, thread_insts_per_term=60.0),
+                phase="force",
+            )
+            stream.launch(
+                forces.bonded_kernel(
+                    "angle_charmm", n_angles, n_atoms,
+                    thread_insts_per_term=110.0,
+                ),
+                phase="force",
+            )
+            stream.launch(
+                forces.bonded_kernel(
+                    "dihedral_charmm", n_dihedrals, n_atoms,
+                    thread_insts_per_term=160.0,
+                ),
+                phase="force",
+            )
+            stream.launch(
+                forces.bonded_kernel(
+                    "improper_harmonic", n_impropers, n_atoms,
+                    thread_insts_per_term=120.0,
+                ),
+                phase="force",
+            )
+            stream.launch(
+                forces.integrate_kernel(
+                    "nve_integrate_final",
+                    n_atoms,
+                    thread_insts_per_atom=14.0,
+                    bytes_read_per_atom=20.0,
+                    bytes_written_per_atom=12.0,
+                ),
+                phase="update",
+            )
+        return stream
+
+
+class LammpsColloid(Workload):
+    """LMC: LAMMPS colloid benchmark (coarse-grained, no electrostatics)."""
+
+    repetitive = True
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int = 0,
+        steps: int = 40,
+        reneighbor_interval: int = 1,
+    ) -> None:
+        super().__init__(LMC_INFO, scale=scale, seed=seed)
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        self.steps = steps
+        # Colloids diffuse quickly; LAMMPS re-neighbours every few steps.
+        self.reneighbor_interval = reneighbor_interval
+        self.spec = COLLOID.scaled(scale)
+
+    def launch_stream(self) -> LaunchStream:
+        system = ParticleSystem(self.spec, seed=self.seed)
+        cell_list = CellList(system)
+        stats = cell_list.build()
+
+        n_atoms = self.spec.n_atoms
+        n_halo = int(n_atoms * 0.08)
+
+        stream = LaunchStream()
+        for step in range(self.steps):
+            reneighbor = step > 0 and step % self.reneighbor_interval == 0
+            if reneighbor:
+                system.perturb(0.05)
+                stats = cell_list.build()
+
+            stream.launch(
+                forces.integrate_kernel(
+                    "nve_integrate_initial",
+                    n_atoms,
+                    thread_insts_per_atom=20.0,
+                    bytes_read_per_atom=28.0,
+                    bytes_written_per_atom=16.0,
+                ),
+                phase="update",
+            )
+            stream.launch(
+                forces.halo_exchange_kernel("comm_forward_comm", n_halo),
+                phase="comm",
+            )
+            if reneighbor:
+                stream.launch(
+                    forces.neighbor_bin_kernel("neighbor_bin_atoms", n_atoms),
+                    phase="neighbor",
+                )
+                stream.launch(
+                    forces.neighbor_build_kernel(
+                        "neighbor_build_full",
+                        n_atoms,
+                        stats.total_pairs,
+                        candidate_ratio=4.4,  # full lists: both directions
+                    ),
+                    phase="neighbor",
+                )
+            stream.launch(
+                forces.nonbonded_pair_kernel(
+                    "pair_colloid",
+                    n_atoms,
+                    stats.total_pairs,
+                    # Colloid pair interactions integrate Hamaker terms:
+                    # analytically much heavier than LJ per pair.
+                    thread_insts_per_pair=900.0,
+                    imbalance_cv=stats.imbalance_cv,
+                    pairlist_bytes_per_pair=4.0,
+                ),
+                phase="force",
+            )
+            stream.launch(
+                forces.integrate_kernel(
+                    "fix_langevin",
+                    n_atoms,
+                    thread_insts_per_atom=90.0,  # Gaussian noise generation
+                    bytes_read_per_atom=76.0,  # + RNG state and drag terms
+                    bytes_written_per_atom=40.0,
+                ),
+                phase="update",
+            )
+            stream.launch(
+                forces.integrate_kernel(
+                    "nve_integrate_final",
+                    n_atoms,
+                    thread_insts_per_atom=14.0,
+                    bytes_read_per_atom=20.0,
+                    bytes_written_per_atom=12.0,
+                ),
+                phase="update",
+            )
+            stream.launch(
+                forces.halo_exchange_kernel("comm_reverse_comm", n_halo),
+                phase="comm",
+            )
+            if step % 5 == 0:  # the colloid deck prints thermo often
+                stream.launch(
+                    forces.reduction_kernel("thermo_temp_compute", n_atoms),
+                    phase="output",
+                )
+        return stream

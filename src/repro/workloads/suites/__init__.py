@@ -1,0 +1,20 @@
+"""Benchmark-suite registrations.
+
+Importing this package registers every workload: the ten Cactus
+applications (Table I) and the 32 Parboil/Rodinia/Tango baselines
+(Table III).
+"""
+
+import repro.workloads.suites.cactus  # noqa: F401
+import repro.workloads.suites.extensions  # noqa: F401
+import repro.workloads.suites.parboil  # noqa: F401
+import repro.workloads.suites.rodinia  # noqa: F401
+import repro.workloads.suites.tango  # noqa: F401
+
+from repro.workloads.suites.common import (
+    BottomUpBenchmark,
+    KernelSpec,
+    benchmark_factory,
+)
+
+__all__ = ["BottomUpBenchmark", "KernelSpec", "benchmark_factory"]

@@ -1,0 +1,29 @@
+"""Registration of the ten Cactus workloads (Table I)."""
+
+from __future__ import annotations
+
+from repro.workloads.graphs.bfs import RoadBFS, SocialBFS
+from repro.workloads.ml.models.dcgan import DCGANTraining
+from repro.workloads.ml.models.dqn import ReinforcementLearningTraining
+from repro.workloads.ml.models.neural_style import NeuralStyleTraining
+from repro.workloads.ml.models.seq2seq import LanguageTranslationTraining
+from repro.workloads.ml.models.spatial_transformer import (
+    SpatialTransformerTraining,
+)
+from repro.workloads.molecular.gromacs import GromacsNPT
+from repro.workloads.molecular.lammps import LammpsColloid, LammpsRhodopsin
+from repro.workloads.registry import register_workload
+
+for abbr, cls in (
+    ("GMS", GromacsNPT),
+    ("LMR", LammpsRhodopsin),
+    ("LMC", LammpsColloid),
+    ("GST", SocialBFS),
+    ("GRU", RoadBFS),
+    ("DCG", DCGANTraining),
+    ("NST", NeuralStyleTraining),
+    ("RFL", ReinforcementLearningTraining),
+    ("SPT", SpatialTransformerTraining),
+    ("LGT", LanguageTranslationTraining),
+):
+    register_workload(abbr, "Cactus", cls)

@@ -1,0 +1,192 @@
+"""Bottom-up benchmark machinery for the Parboil/Rodinia/Tango models.
+
+The baseline suites are kernel-centric by design (Section II.B): each
+benchmark runs one to three kernels with *unambiguous* behaviour.  We
+model every Table III benchmark as a :class:`BottomUpBenchmark` built
+from a few :class:`KernelSpec` records whose per-element costs follow
+the benchmark's algorithm (a GEMM is FMA-dense with tile reuse, a
+stencil streams its grid, a BFS gathers randomly, ...).
+
+Four behavioural archetypes cover the suites:
+
+``compute``
+    FMA-dense with on-chip tile reuse (GEMM, n-body, cutoff potentials).
+``stream``
+    Bandwidth-bound unit-stride traffic (LBM, stencils, reductions).
+``irregular``
+    Data-dependent gathers with poor coalescing (BFS, SpMV, Huffman).
+``atomic``
+    Conflict-heavy scattered updates (histogramming, gridding).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.gpu.kernel import (
+    InstructionMix,
+    KernelCharacteristics,
+    LaunchStream,
+    MemoryFootprint,
+)
+from repro.workloads.base import Workload, WorkloadInfo
+
+#: Archetype profiles: (mix, reuse, l1_locality, coalescence, ilp, mlp).
+_PROFILES: Dict[str, Tuple[InstructionMix, float, float, float, float, float]] = {
+    "compute": (
+        InstructionMix(fp32=0.55, ld_st=0.15, branch=0.04, sync=0.03),
+        4.0, 0.85, 1.0, 3.0, 4.0,
+    ),
+    "stream": (
+        InstructionMix(fp32=0.30, ld_st=0.40, branch=0.03, sync=0.01),
+        1.0, 0.3, 1.0, 3.0, 8.0,
+    ),
+    "irregular": (
+        InstructionMix(fp32=0.10, ld_st=0.40, branch=0.14, sync=0.02),
+        1.3, 0.15, 0.25, 1.4, 2.0,
+    ),
+    "atomic": (
+        InstructionMix(fp32=0.15, ld_st=0.42, branch=0.08, sync=0.04),
+        1.5, 0.1, 0.3, 1.6, 2.5,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Per-element cost model for one benchmark kernel."""
+
+    name: str
+    profile: str
+    #: Elements this kernel processes, as a fraction of the benchmark's
+    #: problem size (e.g. the small second kernel of BFS touches only
+    #: the frontier, not the whole graph).
+    elems: float = 1.0
+    thread_insts_per_elem: float = 20.0
+    bytes_read_per_elem: float = 8.0
+    bytes_written_per_elem: float = 4.0
+    threads_per_block: int = 256
+    #: Launches per benchmark iteration.
+    repeats: int = 1
+
+    def __post_init__(self) -> None:
+        if self.profile not in _PROFILES:
+            raise ValueError(
+                f"unknown profile {self.profile!r}; known: {sorted(_PROFILES)}"
+            )
+        if self.elems <= 0 or self.thread_insts_per_elem <= 0:
+            raise ValueError("elems and instruction costs must be positive")
+        if self.repeats < 1:
+            raise ValueError("repeats must be >= 1")
+
+    def _jitter(self, index: int, low: float, high: float) -> float:
+        """Deterministic per-kernel perturbation factor in [low, high].
+
+        Every real benchmark has its own instruction mix and latency
+        characteristics even within an archetype; a stable hash of the
+        kernel name provides that idiosyncrasy without randomness.
+        """
+        digest = hashlib.md5(self.name.encode()).digest()
+        fraction = digest[index % len(digest)] / 255.0
+        return low + fraction * (high - low)
+
+    def build(self, problem_size: int) -> KernelCharacteristics:
+        """Materialize the kernel for a given problem size."""
+        n = max(1.0, problem_size * self.elems)
+        base_mix, reuse, l1, coal, ilp, mlp = _PROFILES[self.profile]
+        # Per-kernel idiosyncrasy on mix/latency knobs only; the
+        # bytes/coalescence that determine instruction intensity stay
+        # as specified.
+        mix = InstructionMix(
+            fp32=min(0.7, base_mix.fp32 * self._jitter(0, 0.7, 1.3)),
+            ld_st=min(0.55, base_mix.ld_st * self._jitter(1, 0.7, 1.35)),
+            branch=min(0.2, base_mix.branch * self._jitter(2, 0.4, 1.8)),
+            sync=min(0.1, base_mix.sync * self._jitter(3, 0.3, 2.0)),
+        )
+        l1 = min(0.95, max(0.0, l1 + self._jitter(6, -0.12, 0.12)))
+        return KernelCharacteristics(
+            name=self.name,
+            grid_blocks=max(1, math.ceil(n / self.threads_per_block)),
+            threads_per_block=self.threads_per_block,
+            warp_insts=max(1.0, n * self.thread_insts_per_elem / 32.0),
+            mix=mix,
+            memory=MemoryFootprint(
+                bytes_read=max(4.0, n * self.bytes_read_per_elem),
+                bytes_written=n * self.bytes_written_per_elem,
+                reuse_factor=reuse,
+                l1_locality=l1,
+                coalescence=coal,
+            ),
+            ilp=ilp * self._jitter(4, 0.7, 1.5),
+            mlp=mlp * self._jitter(5, 0.6, 1.6),
+            tags=("bottom-up", self.profile),
+        )
+
+
+class BottomUpBenchmark(Workload):
+    """A Parboil/Rodinia/Tango-style benchmark: few kernels, iterated."""
+
+    repetitive = True
+
+    def __init__(
+        self,
+        info: WorkloadInfo,
+        problem_size: int,
+        kernels: Sequence[KernelSpec],
+        iterations: int = 16,
+        scale: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(info, scale=scale, seed=seed)
+        if problem_size < 1:
+            raise ValueError("problem_size must be >= 1")
+        if not kernels:
+            raise ValueError("a benchmark needs at least one kernel")
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self.problem_size = max(1024, int(problem_size * scale))
+        self.kernels = tuple(kernels)
+        self.iterations = iterations
+
+    def launch_stream(self) -> LaunchStream:
+        stream = LaunchStream()
+        for iteration in range(self.iterations):
+            for spec in self.kernels:
+                kernel = spec.build(self.problem_size)
+                for _ in range(spec.repeats):
+                    stream.launch(kernel, phase=f"iter{iteration}")
+        return stream
+
+
+def benchmark_factory(
+    name: str,
+    abbr: str,
+    suite: str,
+    problem_size: int,
+    kernels: Sequence[KernelSpec],
+    description: str = "",
+    iterations: int = 16,
+):
+    """Create a registry factory for one bottom-up benchmark."""
+    info = WorkloadInfo(
+        name=name,
+        abbr=abbr,
+        suite=suite,
+        domain="BottomUp",
+        description=description,
+    )
+
+    def factory(scale: float = 1.0, seed: int = 0) -> BottomUpBenchmark:
+        return BottomUpBenchmark(
+            info,
+            problem_size=problem_size,
+            kernels=kernels,
+            iterations=iterations,
+            scale=scale,
+            seed=seed,
+        )
+
+    return factory

@@ -1,0 +1,15 @@
+"""Registration of the extension workloads (future-work suite)."""
+
+from __future__ import annotations
+
+from repro.workloads.extensions.gcn import GCNTraining
+from repro.workloads.extensions.pagerank import PageRankWorkload
+from repro.workloads.extensions.transformer import TransformerTraining
+from repro.workloads.registry import register_workload
+
+for abbr, cls in (
+    ("TRF", TransformerTraining),
+    ("PGR", PageRankWorkload),
+    ("GCN", GCNTraining),
+):
+    register_workload(abbr, "CactusExt", cls)

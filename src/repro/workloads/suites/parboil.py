@@ -1,0 +1,167 @@
+"""The eleven Parboil benchmarks of Table III.
+
+Each model follows the benchmark's published algorithm structure:
+kernel count, per-element arithmetic/byte costs, and access pattern.
+Most spend >= 70 % of GPU time in a single kernel (Fig. 2), and each
+benchmark's kernels sit on one side of the roofline elbow (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import register_workload
+from repro.workloads.suites.common import KernelSpec, benchmark_factory
+
+_SUITE = "Parboil"
+
+
+def _register(abbr, name, problem_size, kernels, description="", iterations=16):
+    register_workload(
+        abbr,
+        _SUITE,
+        benchmark_factory(
+            name, abbr, _SUITE, problem_size, kernels,
+            description=description, iterations=iterations,
+        ),
+    )
+
+
+# BFS on a 1M-node graph: irregular frontier expansion dominates; a tiny
+# flag-reset kernel runs each level.  All kernels memory-intensive.
+_register(
+    "P-BFS", "bfs (1M)", 1_000_000,
+    [
+        KernelSpec("BFS_kernel", "irregular",
+                   thread_insts_per_elem=24.0,
+                   bytes_read_per_elem=10.0, bytes_written_per_elem=4.0),
+        KernelSpec("BFS_flag_reset", "stream", elems=0.02,
+                   thread_insts_per_elem=4.0,
+                   bytes_read_per_elem=1.0, bytes_written_per_elem=4.0),
+    ],
+    description="Breadth-first search",
+)
+
+# Cutoff Coulomb potential: dense short-range interactions, on-chip
+# reuse of the atom bins -> strongly compute-intensive.
+_register(
+    "CUTCP", "cutcp", 500_000,
+    [
+        KernelSpec("cuda_cutoff_potential_lattice", "compute",
+                   thread_insts_per_elem=420.0,
+                   bytes_read_per_elem=10.0, bytes_written_per_elem=4.0),
+    ],
+    description="Cutoff Coulombic potential",
+)
+
+# Histogramming: conflict-heavy atomic scatter plus a small final
+# accumulation; both memory-intensive (Fig. 4 exception list).
+_register(
+    "HISTO", "histo", 4_000_000,
+    [
+        KernelSpec("histo_main_kernel", "atomic",
+                   thread_insts_per_elem=16.0,
+                   bytes_read_per_elem=4.0, bytes_written_per_elem=2.0),
+        KernelSpec("histo_final_kernel", "stream", elems=0.03,
+                   thread_insts_per_elem=8.0,
+                   bytes_read_per_elem=8.0, bytes_written_per_elem=4.0),
+    ],
+    description="Saturating histogram",
+)
+
+# Lattice-Boltzmann: one big streaming stencil over the fluid lattice.
+_register(
+    "LBM", "lbm", 3_000_000,
+    [
+        KernelSpec("performStreamCollide_kernel", "stream",
+                   thread_insts_per_elem=90.0,
+                   bytes_read_per_elem=76.0, bytes_written_per_elem=76.0),
+    ],
+    description="Lattice-Boltzmann method",
+)
+
+# MRI gridding: scattered sample deposition onto the Cartesian grid.
+_register(
+    "MRI-G", "mri-gridding", 2_000_000,
+    [
+        KernelSpec("binning_kernel", "atomic",
+                   thread_insts_per_elem=30.0,
+                   bytes_read_per_elem=10.0, bytes_written_per_elem=6.0),
+        KernelSpec("reorder_kernel", "stream", elems=0.05,
+                   thread_insts_per_elem=6.0,
+                   bytes_read_per_elem=8.0, bytes_written_per_elem=8.0),
+    ],
+    description="MRI gridding",
+)
+
+# MRI-Q: Fourier-transform Q computation; trigonometry-dense.
+_register(
+    "MRI-Q", "mri-q", 2_000_000,
+    [
+        KernelSpec("ComputeQ_GPU", "compute",
+                   thread_insts_per_elem=760.0,
+                   bytes_read_per_elem=12.0, bytes_written_per_elem=8.0),
+        KernelSpec("ComputePhiMag_GPU", "compute", elems=0.02,
+                   thread_insts_per_elem=280.0,
+                   bytes_read_per_elem=6.0, bytes_written_per_elem=3.0),
+    ],
+    description="MRI Q-matrix",
+)
+
+# Sum of absolute differences (video encoding): integer-dense with
+# sliding-window reuse but large frame traffic -> memory side.
+_register(
+    "SAD", "sad", 2_500_000,
+    [
+        KernelSpec("mb_sad_calc", "stream",
+                   thread_insts_per_elem=40.0,
+                   bytes_read_per_elem=24.0, bytes_written_per_elem=8.0),
+        KernelSpec("larger_sad_calc", "stream", elems=0.1,
+                   thread_insts_per_elem=10.0,
+                   bytes_read_per_elem=10.0, bytes_written_per_elem=4.0),
+    ],
+    description="Sum of absolute differences",
+)
+
+# Dense single-precision GEMM (the canonical compute kernel).
+_register(
+    "SGEMM", "sgemm", 1_048_576,
+    [
+        KernelSpec("mysgemmNT", "compute",
+                   thread_insts_per_elem=1024.0,  # the k-loop
+                   bytes_read_per_elem=8.0, bytes_written_per_elem=4.0),
+    ],
+    description="Dense matrix multiply",
+)
+
+# Sparse matrix-vector product: gather x[col[j]] at random.
+_register(
+    "SPMV", "spmv", 1_500_000,
+    [
+        KernelSpec("spmv_jds_naive", "irregular",
+                   thread_insts_per_elem=28.0,
+                   bytes_read_per_elem=14.0, bytes_written_per_elem=4.0),
+    ],
+    description="Sparse matrix-vector multiply",
+)
+
+# 7-point 3D stencil: classic bandwidth-bound kernel.
+_register(
+    "STENCIL", "stencil", 4_000_000,
+    [
+        KernelSpec("block2D_hybrid_coarsen_x", "stream",
+                   thread_insts_per_elem=22.0,
+                   bytes_read_per_elem=12.0, bytes_written_per_elem=4.0),
+    ],
+    description="3D 7-point stencil",
+)
+
+# Two-point angular correlation: histogram of pairwise angles, but the
+# per-pair math dominates -> compute-intensive.
+_register(
+    "TPACF", "tpacf", 200_000,
+    [
+        KernelSpec("gen_hists", "compute",
+                   thread_insts_per_elem=900.0,
+                   bytes_read_per_elem=12.0, bytes_written_per_elem=2.0),
+    ],
+    description="Two-point angular correlation",
+)

@@ -1,0 +1,260 @@
+"""The eighteen Rodinia benchmarks of Table III.
+
+Kernel structures follow the Rodinia sources.  The paper's Fig. 4
+observations are encoded algorithmically: only LUD mixes memory- and
+compute-intensive kernels; B+tree's two kernels are both compute-side;
+Kmeans and SRAD v1 run two memory-side kernels; everything else is a
+single-dominant-kernel benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import register_workload
+from repro.workloads.suites.common import KernelSpec, benchmark_factory
+
+_SUITE = "Rodinia"
+
+
+def _register(abbr, name, problem_size, kernels, description="", iterations=16):
+    register_workload(
+        abbr,
+        _SUITE,
+        benchmark_factory(
+            name, abbr, _SUITE, problem_size, kernels,
+            description=description, iterations=iterations,
+        ),
+    )
+
+
+# B+tree: two query kernels (point and range), both compute-side — the
+# tree fits in cache and the work is key comparisons.
+_register(
+    "BTREE", "b+tree", 1_000_000,
+    [
+        KernelSpec("findK", "compute",
+                   thread_insts_per_elem=260.0,
+                   bytes_read_per_elem=8.0, bytes_written_per_elem=2.0),
+        KernelSpec("findRangeK", "compute", elems=0.6,
+                   thread_insts_per_elem=280.0,
+                   bytes_read_per_elem=8.0, bytes_written_per_elem=2.0),
+    ],
+    description="B+tree queries",
+)
+
+# Backprop: a forward layer pass and a weight adjustment, both
+# streaming over the weight matrix.
+_register(
+    "BACKPROP", "backprop", 4_000_000,
+    [
+        KernelSpec("bpnn_layerforward_CUDA", "stream",
+                   thread_insts_per_elem=24.0,
+                   bytes_read_per_elem=12.0, bytes_written_per_elem=4.0),
+        KernelSpec("bpnn_adjust_weights_cuda", "stream", elems=0.8,
+                   thread_insts_per_elem=18.0,
+                   bytes_read_per_elem=16.0, bytes_written_per_elem=8.0),
+    ],
+    description="Neural-network training",
+)
+
+# Rodinia BFS: the classic two-kernel level-synchronous formulation.
+_register(
+    "R-BFS", "bfs", 1_000_000,
+    [
+        KernelSpec("Kernel", "irregular",
+                   thread_insts_per_elem=22.0,
+                   bytes_read_per_elem=10.0, bytes_written_per_elem=4.0),
+        KernelSpec("Kernel2", "irregular", elems=0.7,
+                   thread_insts_per_elem=10.0,
+                   bytes_read_per_elem=6.0, bytes_written_per_elem=3.0),
+    ],
+    description="Breadth-first search",
+)
+
+# CFD solver: flux computation dominates, arithmetic-dense.
+_register(
+    "CFD", "cfd", 200_000,
+    [
+        KernelSpec("cuda_compute_flux", "compute",
+                   thread_insts_per_elem=640.0,
+                   bytes_read_per_elem=18.0, bytes_written_per_elem=10.0),
+        KernelSpec("cuda_time_step", "compute", elems=0.1,
+                   thread_insts_per_elem=420.0,
+                   bytes_read_per_elem=6.0, bytes_written_per_elem=4.0),
+    ],
+    description="Euler CFD solver",
+)
+
+# 2D discrete wavelet transform: streaming filter over the image.
+_register(
+    "DWT2D", "dwt2d", 3_000_000,
+    [
+        KernelSpec("fdwt53Kernel", "stream",
+                   thread_insts_per_elem=30.0,
+                   bytes_read_per_elem=10.0, bytes_written_per_elem=8.0),
+    ],
+    description="2D discrete wavelet transform",
+)
+
+# Gaussian elimination (4K matrix): the row-update Fan2 kernel is a
+# huge streaming pass; Fan1 is a sliver.
+_register(
+    "GAUSSIAN", "gaussian (4K)", 4_000_000,
+    [
+        KernelSpec("Fan2", "stream",
+                   thread_insts_per_elem=14.0,
+                   bytes_read_per_elem=12.0, bytes_written_per_elem=4.0),
+        KernelSpec("Fan1", "stream", elems=0.002,
+                   thread_insts_per_elem=8.0,
+                   bytes_read_per_elem=8.0, bytes_written_per_elem=4.0),
+    ],
+    description="Gaussian elimination",
+)
+
+# Heart-wall tracking: dense per-point template correlation.
+_register(
+    "HEARTWALL", "heartwall", 150_000,
+    [
+        KernelSpec("heartwall_kernel", "compute",
+                   thread_insts_per_elem=1100.0,
+                   bytes_read_per_elem=16.0, bytes_written_per_elem=4.0),
+    ],
+    description="Heart-wall tracking",
+)
+
+# Hotspot3D: 3D thermal stencil, bandwidth-bound.
+_register(
+    "HOTSPOT3D", "hotspot3d", 4_000_000,
+    [
+        KernelSpec("hotspotOpt1", "stream",
+                   thread_insts_per_elem=26.0,
+                   bytes_read_per_elem=16.0, bytes_written_per_elem=4.0),
+    ],
+    description="3D thermal simulation",
+)
+
+# Huffman decoding: serial bit-twiddling with data-dependent control.
+_register(
+    "HUFFMAN", "huffman", 2_000_000,
+    [
+        KernelSpec("vlc_encode_kernel_sm64huff", "irregular",
+                   thread_insts_per_elem=34.0,
+                   bytes_read_per_elem=8.0, bytes_written_per_elem=4.0),
+    ],
+    description="Huffman encoding",
+)
+
+# Kmeans: distance kernel + membership inversion, both memory-side.
+_register(
+    "KMEANS", "kmeans", 1_000_000,
+    [
+        KernelSpec("kmeansPoint", "stream",
+                   thread_insts_per_elem=70.0,
+                   bytes_read_per_elem=140.0, bytes_written_per_elem=4.0),
+        KernelSpec("invert_mapping", "stream", elems=0.9,
+                   thread_insts_per_elem=10.0,
+                   bytes_read_per_elem=12.0, bytes_written_per_elem=12.0),
+    ],
+    description="K-means clustering",
+)
+
+# LavaMD: particle interactions inside neighbour boxes, FMA-dense.
+_register(
+    "LAVAMD", "lavamd", 250_000,
+    [
+        KernelSpec("kernel_gpu_cuda", "compute",
+                   thread_insts_per_elem=1500.0,
+                   bytes_read_per_elem=22.0, bytes_written_per_elem=16.0),
+    ],
+    description="N-body molecular dynamics",
+)
+
+# Leukocyte tracking: per-cell iterative snake evolution, compute-side.
+_register(
+    "LEUKOCYTE", "leukocyte", 120_000,
+    [
+        KernelSpec("IMGVF_kernel", "compute",
+                   thread_insts_per_elem=1300.0,
+                   bytes_read_per_elem=12.0, bytes_written_per_elem=8.0),
+    ],
+    description="Leukocyte tracking",
+)
+
+# LUD: the paper's named exception — a memory-intensive perimeter
+# kernel and a compute-intensive internal kernel (plus the tiny
+# diagonal factorization).  Three kernels for 70 % of the time.
+_register(
+    "LUD", "lud", 2_000_000,
+    [
+        KernelSpec("lud_internal", "compute",
+                   thread_insts_per_elem=500.0,
+                   bytes_read_per_elem=8.0, bytes_written_per_elem=4.0),
+        KernelSpec("lud_perimeter", "stream", elems=1.0,
+                   thread_insts_per_elem=24.0,
+                   bytes_read_per_elem=16.0, bytes_written_per_elem=8.0),
+        KernelSpec("lud_diagonal", "stream", elems=1.0,
+                   thread_insts_per_elem=20.0,
+                   bytes_read_per_elem=12.0, bytes_written_per_elem=8.0),
+    ],
+    description="LU decomposition",
+)
+
+# Nearest neighbour: one streaming distance pass over the records.
+_register(
+    "NN", "nn", 4_000_000,
+    [
+        KernelSpec("euclid", "stream",
+                   thread_insts_per_elem=16.0,
+                   bytes_read_per_elem=8.0, bytes_written_per_elem=4.0),
+    ],
+    description="k-nearest neighbours",
+)
+
+# Needleman-Wunsch: anti-diagonal wavefront over the score matrix.
+_register(
+    "NW", "nw", 2_000_000,
+    [
+        KernelSpec("needle_cuda_shared_1", "stream",
+                   thread_insts_per_elem=28.0,
+                   bytes_read_per_elem=16.0, bytes_written_per_elem=8.0),
+        KernelSpec("needle_cuda_shared_2", "stream", elems=0.08,
+                   thread_insts_per_elem=28.0,
+                   bytes_read_per_elem=16.0, bytes_written_per_elem=8.0),
+    ],
+    description="Needleman-Wunsch alignment",
+)
+
+# Pathfinder: dynamic-programming row sweep, bandwidth-bound.
+_register(
+    "PATHFINDER", "pathfinder", 4_000_000,
+    [
+        KernelSpec("dynproc_kernel", "stream",
+                   thread_insts_per_elem=18.0,
+                   bytes_read_per_elem=12.0, bytes_written_per_elem=4.0),
+    ],
+    description="Grid dynamic programming",
+)
+
+# SRAD v1: the two diffusion kernels, both memory-side (Fig. 4).
+_register(
+    "SRAD", "srad_v1", 3_000_000,
+    [
+        KernelSpec("srad_cuda_1", "stream",
+                   thread_insts_per_elem=30.0,
+                   bytes_read_per_elem=24.0, bytes_written_per_elem=16.0),
+        KernelSpec("srad_cuda_2", "stream", elems=0.9,
+                   thread_insts_per_elem=26.0,
+                   bytes_read_per_elem=24.0, bytes_written_per_elem=8.0),
+    ],
+    description="Speckle-reducing anisotropic diffusion",
+)
+
+# Streamcluster: distance evaluations against candidate centres.
+_register(
+    "STREAMCLUSTER", "streamcluster", 1_000_000,
+    [
+        KernelSpec("kernel_compute_cost", "stream",
+                   thread_insts_per_elem=60.0,
+                   bytes_read_per_elem=70.0, bytes_written_per_elem=4.0),
+    ],
+    description="Online clustering",
+)

@@ -1,0 +1,74 @@
+"""The three Tango DNN benchmarks of Table III (AN, RN, SN).
+
+Tango implements its networks with hand-written CUDA kernels (no
+CuDNN), so each network runs a *few generic* layer kernels rather than
+dozens of specialized ones — the bottom-up structure the paper
+contrasts Cactus against.  Per Fig. 4: SN's and RN's kernels are all
+compute-intensive; AN is the exception with two compute-intensive
+convolution kernels and one memory-intensive fully-connected kernel.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import register_workload
+from repro.workloads.suites.common import KernelSpec, benchmark_factory
+
+_SUITE = "Tango"
+
+
+def _register(abbr, name, problem_size, kernels, description=""):
+    register_workload(
+        abbr,
+        _SUITE,
+        benchmark_factory(
+            name, abbr, _SUITE, problem_size, kernels,
+            description=description, iterations=12,
+        ),
+    )
+
+
+# AlexNet: big early convolutions (compute) + the fat fc6/fc7 layers
+# that stream enormous weight matrices (memory) — the mixed exception.
+_register(
+    "AN", "alexnet", 800_000,
+    [
+        KernelSpec("conv_layer_kernel_large", "compute",
+                   thread_insts_per_elem=700.0,
+                   bytes_read_per_elem=12.0, bytes_written_per_elem=6.0),
+        KernelSpec("conv_layer_kernel_small", "compute", elems=0.8,
+                   thread_insts_per_elem=620.0,
+                   bytes_read_per_elem=12.0, bytes_written_per_elem=6.0),
+        KernelSpec("fc_layer_kernel", "stream", elems=0.5,
+                   thread_insts_per_elem=20.0,
+                   bytes_read_per_elem=52.0, bytes_written_per_elem=2.0),
+    ],
+    description="AlexNet inference (custom CUDA)",
+)
+
+# ResNet: the 3x3 and 1x1 convolution kernels, both compute-side.
+_register(
+    "RN", "resnet", 900_000,
+    [
+        KernelSpec("conv3x3_layer_kernel", "compute",
+                   thread_insts_per_elem=560.0,
+                   bytes_read_per_elem=10.0, bytes_written_per_elem=5.0),
+        KernelSpec("conv1x1_layer_kernel", "compute", elems=0.7,
+                   thread_insts_per_elem=380.0,
+                   bytes_read_per_elem=10.0, bytes_written_per_elem=5.0),
+    ],
+    description="ResNet inference (custom CUDA)",
+)
+
+# SqueezeNet: fire-module squeeze/expand kernels, both compute-side.
+_register(
+    "SN", "squeezenet", 700_000,
+    [
+        KernelSpec("fire_expand_kernel", "compute",
+                   thread_insts_per_elem=480.0,
+                   bytes_read_per_elem=10.0, bytes_written_per_elem=5.0),
+        KernelSpec("fire_squeeze_kernel", "compute", elems=0.6,
+                   thread_insts_per_elem=360.0,
+                   bytes_read_per_elem=10.0, bytes_written_per_elem=5.0),
+    ],
+    description="SqueezeNet inference (custom CUDA)",
+)

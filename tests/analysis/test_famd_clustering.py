@@ -1,0 +1,156 @@
+"""Tests for FAMD and Ward clustering (Fig. 9 machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.clustering import (
+    cluster_members,
+    cut_tree,
+    render_dendrogram,
+    ward_clustering,
+)
+from repro.analysis.famd import famd
+
+
+class TestFAMD:
+    def test_variance_ratios_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        data = {f"v{i}": rng.normal(size=50).tolist() for i in range(5)}
+        result = famd(data)
+        assert result.explained_variance_ratio.sum() == pytest.approx(1.0)
+
+    def test_variance_ordering_monotone(self):
+        rng = np.random.default_rng(1)
+        data = {f"v{i}": rng.normal(size=40).tolist() for i in range(6)}
+        ratios = famd(data).explained_variance_ratio
+        assert all(ratios[i] >= ratios[i + 1] - 1e-12
+                   for i in range(len(ratios) - 1))
+
+    def test_correlated_variables_compress_into_one_factor(self):
+        rng = np.random.default_rng(2)
+        base = rng.normal(size=60)
+        data = {
+            "a": base.tolist(),
+            "b": (2 * base + 0.01 * rng.normal(size=60)).tolist(),
+            "c": (-base + 0.01 * rng.normal(size=60)).tolist(),
+        }
+        result = famd(data)
+        assert result.explained_variance_ratio[0] > 0.95
+
+    def test_qualitative_variables_separate_groups(self):
+        labels = ["x"] * 20 + ["y"] * 20
+        values = [0.0] * 20 + [0.1] * 20
+        result = famd({"v": values}, {"cls": labels}, n_components=2)
+        xs = result.coordinates[:20, 0]
+        ys = result.coordinates[20:, 0]
+        # The first factor separates the two categories.
+        assert (xs.mean() < ys.mean()) or (xs.mean() > ys.mean())
+        assert abs(xs.mean() - ys.mean()) > 1.0
+
+    def test_components_for_variance(self):
+        rng = np.random.default_rng(3)
+        data = {f"v{i}": rng.normal(size=30).tolist() for i in range(4)}
+        result = famd(data)
+        k = result.components_for_variance(0.9)
+        assert 1 <= k <= result.n_components
+        assert result.explained_variance_ratio[:k].sum() >= 0.9 - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            famd({})
+        with pytest.raises(ValueError, match="same sample count"):
+            famd({"a": [1, 2]}, {"q": ["x"]})
+        with pytest.raises(ValueError, match="two samples"):
+            famd({"a": [1.0]})
+
+
+class TestWardClustering:
+    def test_two_obvious_groups(self):
+        points = np.array(
+            [[0.0, 0.0], [0.1, 0.0], [0.0, 0.1], [5.0, 5.0], [5.1, 5.0]]
+        )
+        result = ward_clustering(points, ["a1", "a2", "a3", "b1", "b2"])
+        assignment = cut_tree(result, 2)
+        assert assignment[0] == assignment[1] == assignment[2]
+        assert assignment[3] == assignment[4]
+        assert assignment[0] != assignment[3]
+
+    def test_merge_heights_monotone(self):
+        rng = np.random.default_rng(4)
+        points = rng.normal(size=(12, 3))
+        result = ward_clustering(points, [f"p{i}" for i in range(12)])
+        heights = result.heights()
+        assert all(heights[i] <= heights[i + 1] + 1e-9
+                   for i in range(len(heights) - 1))
+
+    def test_cut_tree_cluster_counts(self):
+        rng = np.random.default_rng(5)
+        points = rng.normal(size=(10, 2))
+        result = ward_clustering(points, [f"p{i}" for i in range(10)])
+        for k in (1, 3, 6, 10):
+            assignment = cut_tree(result, k)
+            assert len(set(assignment)) == k
+
+    def test_cluster_members_partition(self):
+        points = np.array([[0.0], [0.1], [9.0], [9.1]])
+        result = ward_clustering(points, ["a", "b", "c", "d"])
+        groups = cluster_members(result, 2)
+        flat = sorted(x for g in groups for x in g)
+        assert flat == ["a", "b", "c", "d"]
+
+    def test_dendrogram_renders_all_clusters(self):
+        rng = np.random.default_rng(6)
+        points = rng.normal(size=(8, 2))
+        result = ward_clustering(points, [f"k{i}" for i in range(8)])
+        art = render_dendrogram(result, n_clusters=3)
+        assert "cluster 1" in art and "cluster 3" in art
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="two points"):
+            ward_clustering(np.array([[1.0]]), ["a"])
+        points = np.array([[0.0], [1.0]])
+        result = ward_clustering(points, ["a", "b"])
+        with pytest.raises(ValueError, match="n_clusters"):
+            cut_tree(result, 5)
+
+
+@given(
+    st.integers(3, 12),
+    st.integers(1, 4),
+    st.integers(0, 1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_ward_properties(n_points, n_features, seed):
+    """Cut at k always yields k clusters; heights stay monotone."""
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(n_points, n_features))
+    result = ward_clustering(points, [f"p{i}" for i in range(n_points)])
+    heights = result.heights()
+    assert all(
+        heights[i] <= heights[i + 1] + 1e-6 for i in range(len(heights) - 1)
+    )
+    for k in range(1, n_points + 1):
+        assert len(set(cut_tree(result, k))) == k
+
+
+class TestSurvey:
+    def test_rodinia_most_popular(self):
+        from repro.analysis.survey import popularity_ranking
+
+        ranking = popularity_ranking()
+        assert ranking[0][0] == "Rodinia"
+        assert ranking[1][0] == "Parboil"
+
+    def test_unknown_suite_rejected(self):
+        from repro.analysis.survey import total_papers
+
+        with pytest.raises(KeyError):
+            total_papers("SPEC")
+
+    def test_table_renders_years(self):
+        from repro.analysis.survey import survey_table
+
+        table = survey_table()
+        assert "Rodinia" in table and "total" in table

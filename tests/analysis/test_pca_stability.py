@@ -1,0 +1,96 @@
+"""Tests for the PCA baseline and clustering-stability measurement."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.pca import adjusted_rand_index, clustering_stability, pca
+
+
+class TestPCA:
+    def test_matches_variance_structure(self):
+        rng = np.random.default_rng(0)
+        base = rng.normal(size=80)
+        data = {
+            "a": base.tolist(),
+            "b": (3 * base + 0.01 * rng.normal(size=80)).tolist(),
+            "c": rng.normal(size=80).tolist(),
+        }
+        result = pca(data)
+        # Two correlated variables + one independent -> first component
+        # carries about 2/3 of the variance.
+        assert 0.55 < result.explained_variance_ratio[0] < 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pca({})
+        with pytest.raises(ValueError, match="same sample count"):
+            pca({"a": [1, 2], "b": [1]})
+
+
+class TestAdjustedRandIndex:
+    def test_identical_clusterings(self):
+        assert adjusted_rand_index([0, 0, 1, 1], [1, 1, 0, 0]) == pytest.approx(1.0)
+
+    def test_independent_clusterings_near_zero(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 3, size=300).tolist()
+        b = rng.integers(0, 3, size=300).tolist()
+        assert abs(adjusted_rand_index(a, b)) < 0.1
+
+    def test_partial_agreement_between(self):
+        a = [0, 0, 0, 1, 1, 1]
+        b = [0, 0, 1, 1, 1, 1]
+        value = adjusted_rand_index(a, b)
+        assert 0.0 < value < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            adjusted_rand_index([0], [0])
+        with pytest.raises(ValueError):
+            adjusted_rand_index([0, 1], [0])
+
+
+class TestClusteringStability:
+    def test_separated_blobs_are_stable(self):
+        rng = np.random.default_rng(2)
+        points = np.vstack(
+            [rng.normal(c, 0.2, size=(8, 2)) for c in (0.0, 10.0, 20.0)]
+        )
+        assert clustering_stability(points, 3) > 0.95
+
+    def test_structureless_cloud_is_unstable(self):
+        rng = np.random.default_rng(3)
+        cloud = rng.normal(size=(24, 2))
+        blobs = np.vstack(
+            [rng.normal(c, 0.2, size=(8, 2)) for c in (0.0, 10.0, 20.0)]
+        )
+        assert clustering_stability(cloud, 3) < clustering_stability(blobs, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="not enough samples"):
+            clustering_stability(np.zeros((4, 2)), 3)
+
+    def test_famd_labels_stabilize_clustering(self):
+        """The paper's Section V.D claim, quantified: adding the
+        qualitative roofline labels through FAMD yields clusterings at
+        least as stable as PCA on the noisy quantitative data alone."""
+        from repro.analysis.famd import famd
+
+        rng = np.random.default_rng(4)
+        n_per = 10
+        # Two behaviour classes whose quantitative signal is noisy...
+        quant = {
+            "x": np.concatenate(
+                [rng.normal(0.0, 1.0, n_per), rng.normal(1.0, 1.0, n_per)]
+            ).tolist(),
+            "y": rng.normal(size=2 * n_per).tolist(),
+        }
+        # ...but whose qualitative label is clean.
+        qual = {"side": ["memory"] * n_per + ["compute"] * n_per}
+
+        k = 2
+        pca_points = pca(quant).coordinates
+        famd_points = famd(quant, qual).coordinates
+        pca_stability = clustering_stability(pca_points, k)
+        famd_stability = clustering_stability(famd_points, k)
+        assert famd_stability >= pca_stability

@@ -1,0 +1,118 @@
+"""Tests for the roofline and distribution analyses."""
+
+import pytest
+
+from repro.analysis.distribution import (
+    cumulative_time_curve,
+    dominance_histogram,
+    table1_row,
+    time_share_table,
+)
+from repro.analysis.roofline import (
+    application_roofline,
+    classify_intensity,
+    classify_latency,
+    kernel_roofline,
+    render_roofline_ascii,
+)
+from repro.gpu import RTX_3080, KernelMetrics
+from repro.profiler.records import ApplicationProfile, aggregate_launches
+
+
+def profile_with(kernel_data, workload="app"):
+    """kernel_data: list of (name, duration, insts, txns)."""
+    kernels = [
+        aggregate_launches(
+            name,
+            [KernelMetrics(name=name, duration_s=d, warp_insts=i,
+                           dram_transactions=t)],
+        )
+        for name, d, i, t in kernel_data
+    ]
+    return ApplicationProfile(
+        workload=workload, suite="s", domain="d", kernels=kernels
+    )
+
+
+class TestClassification:
+    def test_elbow_split(self):
+        elbow = RTX_3080.roofline_elbow
+        assert classify_intensity(elbow * 1.01) == "compute"
+        assert classify_intensity(elbow * 0.99) == "memory"
+
+    def test_latency_threshold_is_one_percent_of_peak(self):
+        threshold = 0.01 * RTX_3080.peak_gips
+        assert classify_latency(threshold * 1.1) == "bandwidth"
+        assert classify_latency(threshold * 0.9) == "latency"
+
+
+class TestRooflinePoints:
+    def test_kernel_points_carry_time_shares(self):
+        profile = profile_with(
+            [("a", 3.0, 3e9, 1e6), ("b", 1.0, 1e9, 1e8)]
+        )
+        points = kernel_roofline(profile)
+        assert points[0].time_share == pytest.approx(0.75)
+        assert sum(p.time_share for p in points) == pytest.approx(1.0)
+
+    def test_aggregate_point_pools_counters(self):
+        profile = profile_with(
+            [("a", 1.0, 2e9, 1e6), ("b", 1.0, 2e9, 1e6)]
+        )
+        point = application_roofline(profile)
+        assert point.gips == pytest.approx(2.0)
+        assert point.intensity == pytest.approx(2000.0)
+
+    def test_distance_to_roof_bounded(self):
+        profile = profile_with([("a", 1.0, 1e9, 1e9)])
+        point = application_roofline(profile)
+        assert 0.0 < point.distance_to_roof() <= 1.0
+
+    def test_dominant_subset(self):
+        profile = profile_with(
+            [("big", 9.0, 9e9, 1e6), ("small", 1.0, 1e9, 1e6)]
+        )
+        points = kernel_roofline(profile, profile.dominant_kernels)
+        assert [p.label for p in points] == ["big"]
+
+    def test_ascii_render_contains_markers(self):
+        profile = profile_with(
+            [("c", 1.0, 4e11, 1e6), ("m", 1.0, 1e9, 1e9)]
+        )
+        art = render_roofline_ascii(kernel_roofline(profile))
+        assert "C" in art and "M" in art and "elbow" in art
+
+
+class TestDistribution:
+    def test_cumulative_curve_shape(self):
+        profile = profile_with(
+            [("a", 0.5, 1e9, 1e6), ("b", 0.3, 1e9, 1e6), ("c", 0.2, 1e9, 1e6)]
+        )
+        curve = cumulative_time_curve(profile)
+        assert curve[0] == (1, pytest.approx(0.5))
+        assert curve[-1] == (3, pytest.approx(1.0))
+
+    def test_dominance_histogram(self):
+        profiles = [
+            profile_with([("a", 0.9, 1e9, 1e6), ("b", 0.1, 1e9, 1e6)], "w1"),
+            profile_with([("a", 0.5, 1e9, 1e6), ("b", 0.5, 1e9, 1e6)], "w2"),
+        ]
+        assert dominance_histogram(profiles) == {1: 1, 2: 1}
+
+    def test_time_share_table_sorted(self):
+        profile = profile_with(
+            [("a", 0.2, 1e9, 1e6), ("b", 0.8, 1e9, 1e6)]
+        )
+        table = time_share_table(profile)
+        assert table[0][0] == "b"
+        assert table[0][1] == pytest.approx(0.8)
+
+    def test_table1_row_fields(self):
+        profile = profile_with(
+            [("a", 0.7, 7e9, 1e6), ("b", 0.3, 3e9, 1e6)]
+        )
+        row = table1_row(profile, abbr="X")
+        assert row.abbr == "X"
+        assert row.kernels_100 == 2
+        assert row.kernels_70 == 1
+        assert row.total_warp_insts == pytest.approx(1e10)

@@ -1,0 +1,125 @@
+"""Tests for the subsetting/redundancy analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.subsetting import (
+    coverage,
+    redundancy_report,
+    representatives_for_coverage,
+    select_representatives,
+)
+
+
+def two_blobs(n_per_blob=10, separation=10.0, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(0.0, 0.5, size=(n_per_blob, 2))
+    b = rng.normal(separation, 0.5, size=(n_per_blob, 2))
+    points = np.vstack([a, b])
+    labels = [f"a{i}" for i in range(n_per_blob)] + [
+        f"b{i}" for i in range(n_per_blob)
+    ]
+    return points, labels
+
+
+class TestCoverage:
+    def test_full_subset_is_perfect(self):
+        points, _ = two_blobs()
+        assert coverage(points, list(range(len(points)))) == pytest.approx(1.0)
+
+    def test_single_point_covers_little_of_two_blobs(self):
+        points, _ = two_blobs()
+        assert coverage(points, [0]) < 0.6
+
+    def test_one_per_blob_covers_most(self):
+        points, _ = two_blobs()
+        assert coverage(points, [0, 10]) > 0.9
+
+    def test_validation(self):
+        points, _ = two_blobs()
+        with pytest.raises(ValueError):
+            coverage(points, [])
+        with pytest.raises(ValueError):
+            coverage(np.empty((0, 2)), [0])
+
+
+class TestSelectRepresentatives:
+    def test_picks_one_from_each_blob(self):
+        points, labels = two_blobs()
+        result = select_representatives(points, labels, k=2)
+        prefixes = {labels[i][0] for i in result.representative_indices}
+        assert prefixes == {"a", "b"}
+        assert result.coverage > 0.9
+
+    def test_assignment_partitions_population(self):
+        points, labels = two_blobs()
+        result = select_representatives(points, labels, k=2)
+        assert len(result.assignment) == len(points)
+        assert set(result.assignment) == {0, 1}
+
+    def test_more_representatives_never_hurt(self):
+        points, labels = two_blobs()
+        cov = [
+            select_representatives(points, labels, k=k).coverage
+            for k in (1, 2, 4, 8)
+        ]
+        assert all(cov[i] <= cov[i + 1] + 1e-9 for i in range(len(cov) - 1))
+
+    def test_k_validation(self):
+        points, labels = two_blobs()
+        with pytest.raises(ValueError):
+            select_representatives(points, labels, k=0)
+        with pytest.raises(ValueError):
+            select_representatives(points, labels, k=len(points) + 1)
+
+    def test_deterministic(self):
+        points, labels = two_blobs()
+        a = select_representatives(points, labels, k=3)
+        b = select_representatives(points, labels, k=3)
+        assert a.representative_indices == b.representative_indices
+
+
+class TestCoverageTarget:
+    def test_reaches_target(self):
+        points, labels = two_blobs()
+        result = representatives_for_coverage(points, labels, 0.95)
+        assert result.coverage >= 0.95
+
+    def test_every_mode_needs_a_representative(self):
+        """The Observation-12 story: a population spanning k
+        well-separated behaviour modes needs at least k representatives
+        for high coverage, and the selection finds one per mode."""
+        rng = np.random.default_rng(1)
+        centres = (-8.0, -4.0, 0.0, 4.0, 8.0, 12.0)
+        wide = np.vstack(
+            [rng.normal(c, 0.2, size=(4, 3)) for c in centres]
+        )
+        labels = [f"m{m}_{i}" for m in range(len(centres)) for i in range(4)]
+        result = representatives_for_coverage(wide, labels, 0.97)
+        assert len(result.representative_indices) >= len(centres)
+        modes_hit = {
+            labels[i].split("_")[0] for i in result.representative_indices
+        }
+        assert len(modes_hit) == len(centres)
+
+    def test_redundancy_report(self):
+        points, labels = two_blobs()
+        rows = redundancy_report({"suite": (points, labels)}, target=0.9)
+        assert rows[0].kernels == 20
+        assert 0.0 <= rows[0].redundancy < 1.0
+        assert rows[0].coverage >= 0.9
+
+
+@given(st.integers(4, 20), st.integers(0, 100))
+@settings(max_examples=30, deadline=None)
+def test_coverage_monotone_property(n, seed):
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(n, 2))
+    labels = [str(i) for i in range(n)]
+    previous = -1.0
+    for k in range(1, n + 1, max(1, n // 4)):
+        result = select_representatives(points, labels, k)
+        assert result.coverage >= previous - 1e-9
+        previous = result.coverage

@@ -1,0 +1,75 @@
+"""Tests for the CLI and the Markdown report generator."""
+
+import pytest
+
+from repro.cli import main
+from repro.core import LAPTOP_SCALE, run_suite
+from repro.core.report import generate_report
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Cactus (10):" in out
+        assert "Rodinia (18):" in out
+        assert "CactusExt (3):" in out
+
+    def test_characterize(self, capsys):
+        assert main(["characterize", "GMS", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "kernels: 9" in out
+        assert "nbnxn_kernel" in out
+
+    def test_table1(self, capsys):
+        assert main(["--preset", "laptop", "table1"]) == 0
+        out = capsys.readouterr().out
+        for abbr in ("GMS", "LGT"):
+            assert abbr in out
+
+    def test_trace(self, tmp_path, capsys):
+        path = tmp_path / "gru.jsonl"
+        assert main(["trace", "GRU", str(path), "--scale", "0.001"]) == 0
+        assert path.exists()
+        assert "launches" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_report_to_file(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        assert main(["--preset", "laptop", "report",
+                     "--output", str(path)]) == 0
+        text = path.read_text()
+        assert text.startswith("# Cactus characterization report")
+        assert "Table I" in text
+
+
+class TestReportGenerator:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        cactus = run_suite(["Cactus"], preset=LAPTOP_SCALE)
+        prt = run_suite(["Parboil", "Rodinia", "Tango"],
+                        preset=LAPTOP_SCALE)
+        return cactus, prt
+
+    def test_cactus_only_report(self, runs):
+        cactus, _ = runs
+        text = generate_report(cactus)
+        assert "## Table I" in text
+        assert "## Aggregate roofline" in text
+        assert "Observations" not in text
+
+    def test_full_report_with_prt(self, runs):
+        text = generate_report(*runs)
+        assert "## PRT dominance (Fig. 2)" in text
+        assert "## Clustering (Fig. 9)" in text
+        assert "Observations:" in text
+
+    def test_report_mentions_every_cactus_workload(self, runs):
+        cactus, _ = runs
+        text = generate_report(cactus)
+        for abbr in ("GMS", "LMR", "LMC", "GST", "GRU",
+                     "DCG", "NST", "RFL", "SPT", "LGT"):
+            assert f"| {abbr} |" in text

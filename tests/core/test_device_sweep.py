@@ -1,0 +1,59 @@
+"""Cross-device consistency of the characterization pipeline."""
+
+import pytest
+
+from repro.core import characterize
+from repro.gpu import A100, EDGE_GPU, RTX_3080
+from repro.workloads import get_workload
+
+
+class TestDeviceSweep:
+    @pytest.fixture(scope="class")
+    def gms(self):
+        return {
+            device.name: characterize(
+                get_workload("GMS", scale=0.2), device=device
+            )
+            for device in (RTX_3080, A100, EDGE_GPU)
+        }
+
+    def test_kernel_menu_device_invariant(self, gms):
+        """The device changes timings, never which kernels run."""
+        menus = {
+            name: {k.name for k in result.profile.kernels}
+            for name, result in gms.items()
+        }
+        reference = menus[RTX_3080.name]
+        assert all(menu == reference for menu in menus.values())
+
+    def test_instruction_counts_device_invariant(self, gms):
+        insts = {
+            name: result.profile.total_warp_insts
+            for name, result in gms.items()
+        }
+        reference = insts[RTX_3080.name]
+        for value in insts.values():
+            assert value == pytest.approx(reference)
+
+    def test_durations_track_device_speed(self, gms):
+        assert (
+            gms[EDGE_GPU.name].profile.total_time_s
+            > gms[RTX_3080.name].profile.total_time_s
+        )
+
+    def test_classification_uses_each_devices_elbow(self, gms):
+        """Intensity is a workload property; the class label depends on
+        the device's machine balance."""
+        for device in (RTX_3080, A100, EDGE_GPU):
+            result = gms[device.name]
+            point = result.aggregate_point
+            expected = (
+                "compute"
+                if point.intensity > device.roofline_elbow
+                else "memory"
+            )
+            assert point.intensity_class == expected
+
+    def test_elbow_ordering(self):
+        # More bandwidth per FLOP -> elbow further left.
+        assert A100.roofline_elbow < RTX_3080.roofline_elbow

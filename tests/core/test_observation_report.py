@@ -1,0 +1,30 @@
+"""Unit tests for the ObservationReport plumbing (compare.py)."""
+
+from repro.core.compare import Observation, ObservationReport
+
+
+class TestObservationReport:
+    def _report(self):
+        return ObservationReport(
+            observations=[
+                Observation(1, "first claim", True, "evidence one"),
+                Observation(2, "second claim", False, "evidence two"),
+                Observation(3, "third claim", True, "evidence three"),
+            ]
+        )
+
+    def test_pass_counting(self):
+        report = self._report()
+        assert report.passed == 2
+        assert report.total == 3
+
+    def test_render_marks_status(self):
+        text = self._report().render()
+        assert "Observations: 2/3 hold" in text
+        assert "[PASS] #1 first claim" in text
+        assert "[FAIL] #2 second claim" in text
+        assert "evidence two" in text
+
+    def test_render_orders_by_number(self):
+        text = self._report().render()
+        assert text.index("#1") < text.index("#2") < text.index("#3")

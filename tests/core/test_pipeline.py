@@ -1,0 +1,73 @@
+"""Tests for the end-to-end pipeline (characterize / run_suite)."""
+
+import pytest
+
+from repro.core import (
+    LAPTOP_SCALE,
+    PAPER_SCALE,
+    ScalePreset,
+    characterize,
+    run_suite,
+)
+from repro.workloads import get_workload
+
+
+class TestScalePresets:
+    def test_preset_routing(self):
+        assert PAPER_SCALE.for_workload("GMS") == 1.0
+        assert PAPER_SCALE.for_workload("GST") == 0.05
+        assert PAPER_SCALE.for_workload("DCG") == 1.0
+        assert PAPER_SCALE.for_workload("SGEMM") == 1.0
+
+    def test_laptop_smaller_than_paper(self):
+        for abbr in ("GMS", "GST", "DCG", "SGEMM"):
+            assert LAPTOP_SCALE.for_workload(abbr) < PAPER_SCALE.for_workload(abbr)
+
+    def test_custom_preset(self):
+        preset = ScalePreset("x", molecular=0.2, graph=0.1, ml=0.3,
+                             bottom_up=0.4)
+        assert preset.for_workload("lmr") == 0.2
+
+
+class TestCharacterize:
+    def test_characterization_bundle(self):
+        result = characterize(get_workload("GMS", scale=0.05))
+        assert result.abbr == "GMS"
+        assert result.table1.kernels_100 == 9
+        assert len(result.kernel_points) == 9
+        assert 1 <= len(result.dominant_points) <= 9
+        assert result.cumulative_curve[0][0] == 1
+        assert result.cumulative_curve[-1][1] <= 1.0 + 1e-9
+
+    def test_dominant_sides_counts(self):
+        result = characterize(get_workload("GMS", scale=0.05))
+        compute, memory = result.dominant_sides
+        assert compute + memory == len(result.dominant_points)
+
+
+class TestRunSuite:
+    def test_run_selected_workloads(self):
+        result = run_suite(
+            ["Cactus"], preset=LAPTOP_SCALE, workloads=["GMS", "GRU"]
+        )
+        assert len(result) == 2
+        assert "GMS" in result and "gru" in result
+        assert result["GMS"].profile.num_kernels == 9
+
+    def test_suite_accessor(self):
+        result = run_suite(
+            ["Parboil"], preset=LAPTOP_SCALE, workloads=["SGEMM", "LBM"]
+        )
+        abbrs = {c.abbr for c in result.suite("Parboil")}
+        assert abbrs == {"SGEMM", "LBM"}
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ValueError, match="no workloads"):
+            run_suite(["Cactus"], workloads=["NOPE"])
+
+    def test_profiles_helper(self):
+        result = run_suite(
+            ["Tango"], preset=LAPTOP_SCALE
+        )
+        assert len(result.profiles("Tango")) == 3
+        assert len(result.profiles()) == 3

@@ -1,0 +1,76 @@
+"""Tests for the device specifications (Table II constants)."""
+
+import pytest
+
+from repro.gpu import A100, DEVICE_PRESETS, EDGE_GPU, RTX_3080, RTX_3090, DeviceSpec
+
+
+class TestRTX3080PaperConstants:
+    """The paper derives its roofline from these exact numbers."""
+
+    def test_peak_gips_matches_paper(self):
+        # 68 SMs x 4 schedulers x 1 warp inst/cycle x 1.9 GHz = 516.8
+        assert RTX_3080.peak_gips == pytest.approx(516.8)
+
+    def test_peak_transaction_rate_matches_paper(self):
+        # 760.3 GB/s / 32 B = 23.76 GTXN/s (paper rounds to 23.75)
+        assert RTX_3080.peak_gtxn_per_s == pytest.approx(23.76, abs=0.01)
+
+    def test_roofline_elbow_matches_paper(self):
+        # elbow at ~21.76 warp insts per transaction
+        assert RTX_3080.roofline_elbow == pytest.approx(21.76, abs=0.02)
+
+    def test_sm_count(self):
+        assert RTX_3080.num_sms == 68
+
+    def test_l2_capacity(self):
+        assert RTX_3080.l2_bytes == 5 * 1024 * 1024
+
+
+class TestDeviceSpecValidation:
+    def test_rejects_zero_sms(self):
+        with pytest.raises(ValueError, match="num_sms"):
+            RTX_3080.with_overrides(num_sms=0)
+
+    def test_rejects_negative_clock(self):
+        with pytest.raises(ValueError, match="clock_ghz"):
+            RTX_3080.with_overrides(clock_ghz=-1.0)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError, match="dram_bandwidth_gbs"):
+            RTX_3080.with_overrides(dram_bandwidth_gbs=0.0)
+
+    def test_with_overrides_returns_new_spec(self):
+        faster = RTX_3080.with_overrides(clock_ghz=2.0)
+        assert faster.clock_ghz == 2.0
+        assert RTX_3080.clock_ghz == 1.9
+        assert faster.num_sms == RTX_3080.num_sms
+
+
+class TestDevicePresets:
+    def test_presets_registered(self):
+        for spec in (RTX_3080, RTX_3090, A100, EDGE_GPU):
+            assert DEVICE_PRESETS[spec.name] is spec
+
+    def test_presets_ordering_by_bandwidth(self):
+        assert (
+            EDGE_GPU.dram_bandwidth_gbs
+            < RTX_3080.dram_bandwidth_gbs
+            < RTX_3090.dram_bandwidth_gbs
+            < A100.dram_bandwidth_gbs
+        )
+
+    def test_all_presets_have_positive_elbow(self):
+        for spec in DEVICE_PRESETS.values():
+            assert spec.roofline_elbow > 0
+
+    def test_derived_quantities_consistent(self):
+        for spec in DEVICE_PRESETS.values():
+            assert spec.roofline_elbow == pytest.approx(
+                spec.peak_gips / spec.peak_gtxn_per_s
+            )
+            assert spec.max_threads_per_sm == spec.max_warps_per_sm * 32
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            RTX_3080.num_sms = 100  # type: ignore[misc]

@@ -1,0 +1,149 @@
+"""Tests for kernel descriptions and launch streams."""
+
+import pytest
+
+from repro.gpu import (
+    InstructionMix,
+    KernelCharacteristics,
+    KernelLaunch,
+    LaunchStream,
+    MemoryFootprint,
+)
+
+
+def make_kernel(name="k", **kwargs):
+    defaults = dict(
+        grid_blocks=64,
+        threads_per_block=256,
+        warp_insts=1e6,
+        memory=MemoryFootprint(bytes_read=1e6),
+    )
+    defaults.update(kwargs)
+    return KernelCharacteristics(name=name, **defaults)
+
+
+class TestInstructionMix:
+    def test_other_fraction_complements(self):
+        mix = InstructionMix(fp32=0.5, ld_st=0.2, branch=0.1, sync=0.05)
+        assert mix.other == pytest.approx(0.15)
+
+    def test_rejects_sum_above_one(self):
+        with pytest.raises(ValueError, match="sum"):
+            InstructionMix(fp32=0.6, ld_st=0.5, branch=0.0, sync=0.0)
+
+    def test_rejects_negative_fraction(self):
+        with pytest.raises(ValueError):
+            InstructionMix(fp32=-0.1)
+
+    def test_rejects_fraction_above_one(self):
+        with pytest.raises(ValueError):
+            InstructionMix(ld_st=1.5)
+
+
+class TestMemoryFootprint:
+    def test_unique_and_total_bytes(self):
+        fp = MemoryFootprint(bytes_read=100.0, bytes_written=50.0, reuse_factor=3.0)
+        assert fp.unique_bytes == 150.0
+        assert fp.total_access_bytes == 450.0
+
+    def test_working_set_defaults_to_unique(self):
+        fp = MemoryFootprint(bytes_read=100.0, bytes_written=20.0)
+        assert fp.effective_working_set == 120.0
+
+    def test_explicit_working_set(self):
+        fp = MemoryFootprint(bytes_read=100.0, working_set_bytes=40.0)
+        assert fp.effective_working_set == 40.0
+
+    def test_rejects_reuse_below_one(self):
+        with pytest.raises(ValueError, match="reuse_factor"):
+            MemoryFootprint(bytes_read=1.0, reuse_factor=0.5)
+
+    def test_rejects_zero_coalescence(self):
+        with pytest.raises(ValueError, match="coalescence"):
+            MemoryFootprint(bytes_read=1.0, coalescence=0.0)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            MemoryFootprint(bytes_read=-1.0)
+
+
+class TestKernelCharacteristics:
+    def test_warp_geometry(self):
+        kernel = make_kernel(grid_blocks=10, threads_per_block=96)
+        assert kernel.warps_per_block == 3
+        assert kernel.total_warps == 30
+
+    def test_insts_per_warp(self):
+        kernel = make_kernel(grid_blocks=4, threads_per_block=32, warp_insts=400.0)
+        assert kernel.warp_insts_per_warp == pytest.approx(100.0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="name"):
+            make_kernel(name="")
+
+    def test_rejects_oversized_block(self):
+        with pytest.raises(ValueError, match="threads_per_block"):
+            make_kernel(threads_per_block=2048)
+
+    def test_rejects_nonpositive_insts(self):
+        with pytest.raises(ValueError, match="warp_insts"):
+            make_kernel(warp_insts=0)
+
+    def test_rejects_ilp_below_one(self):
+        with pytest.raises(ValueError, match="ilp"):
+            make_kernel(ilp=0.5)
+
+    def test_scaled_preserves_structure(self):
+        kernel = make_kernel(
+            warp_insts=1e6,
+            memory=MemoryFootprint(bytes_read=1e6, bytes_written=2e5),
+        )
+        half = kernel.scaled(0.5)
+        assert half.warp_insts == pytest.approx(5e5)
+        assert half.memory.bytes_read == pytest.approx(5e5)
+        assert half.memory.bytes_written == pytest.approx(1e5)
+        assert half.name == kernel.name
+        assert half.mix == kernel.mix
+
+    def test_scaled_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError, match="factor"):
+            make_kernel().scaled(0.0)
+
+    def test_hashable_for_memoization(self):
+        a = make_kernel()
+        b = make_kernel()
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestLaunchStream:
+    def test_launch_appends(self):
+        stream = LaunchStream()
+        stream.launch(make_kernel("a"))
+        stream.launch(make_kernel("b"))
+        stream.launch(make_kernel("a"))
+        assert len(stream) == 3
+        assert stream[0].name == "a"
+
+    def test_kernel_names_deduplicated_in_order(self):
+        stream = LaunchStream()
+        for name in ("x", "y", "x", "z", "y"):
+            stream.launch(make_kernel(name))
+        assert stream.kernel_names == ["x", "y", "z"]
+
+    def test_total_warp_insts(self):
+        stream = LaunchStream()
+        stream.launch(make_kernel("a", warp_insts=100.0))
+        stream.launch(make_kernel("b", warp_insts=250.0))
+        assert stream.total_warp_insts == pytest.approx(350.0)
+
+    def test_extend_and_iterate(self):
+        stream = LaunchStream()
+        extra = [KernelLaunch(kernel=make_kernel("c")) for _ in range(3)]
+        stream.extend(extra)
+        assert [launch.name for launch in stream] == ["c", "c", "c"]
+
+    def test_phase_label_carried(self):
+        stream = LaunchStream()
+        launch = stream.launch(make_kernel("a"), phase="forward")
+        assert launch.phase == "forward"

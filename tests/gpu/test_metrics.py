@@ -1,0 +1,82 @@
+"""Tests for the Table IV metric records."""
+
+import pytest
+
+from repro.gpu.metrics import (
+    METRIC_DESCRIPTIONS,
+    PRIMARY_METRICS,
+    SECONDARY_METRICS,
+    KernelMetrics,
+    metric_table,
+)
+
+
+def make(**kwargs):
+    defaults = dict(
+        name="k", duration_s=1.0, warp_insts=1e9, dram_transactions=1e6
+    )
+    defaults.update(kwargs)
+    return KernelMetrics(**defaults)
+
+
+class TestRooflineCoordinates:
+    def test_gips(self):
+        assert make(duration_s=0.5, warp_insts=1e9).gips == pytest.approx(2.0)
+
+    def test_instruction_intensity(self):
+        metrics = make(warp_insts=4e6, dram_transactions=2e6)
+        assert metrics.instruction_intensity == pytest.approx(2.0)
+
+    def test_zero_transactions_clamped(self):
+        metrics = make(warp_insts=100.0, dram_transactions=0.0)
+        assert metrics.instruction_intensity == pytest.approx(100.0)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError, match="duration_s"):
+            make(duration_s=0.0)
+
+    def test_rejects_nonpositive_insts(self):
+        with pytest.raises(ValueError, match="warp_insts"):
+            make(warp_insts=0.0)
+
+    def test_rejects_negative_transactions(self):
+        with pytest.raises(ValueError):
+            make(dram_transactions=-1.0)
+
+    def test_rejects_zero_invocations(self):
+        with pytest.raises(ValueError):
+            make(invocations=0)
+
+
+class TestAccessors:
+    def test_metric_lookup(self):
+        metrics = make(l1_hit_rate=0.25)
+        assert metrics.metric("l1_hit_rate") == 0.25
+        assert metrics.metric("gips") == metrics.gips
+        assert (
+            metrics.metric("instruction_intensity")
+            == metrics.instruction_intensity
+        )
+
+    def test_metric_rejects_non_numeric(self):
+        with pytest.raises((KeyError, AttributeError)):
+            make().metric("name")
+
+    def test_as_dict_contains_everything(self):
+        data = make().as_dict()
+        for metric in PRIMARY_METRICS + SECONDARY_METRICS:
+            assert metric in data
+        assert "duration_s" in data and "invocations" in data
+
+    def test_descriptions_cover_all_metrics(self):
+        for metric in PRIMARY_METRICS + SECONDARY_METRICS:
+            assert metric in METRIC_DESCRIPTIONS
+
+    def test_metric_table_matches_paper_rows(self):
+        rows = metric_table()
+        assert len(rows) == 12  # Table IV rows (L1/L2 share one)
+        names = [name for name, _ in rows]
+        assert "L1/L2 hit rate" in names
+        assert "memory_stall" in names

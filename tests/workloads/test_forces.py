@@ -1,0 +1,74 @@
+"""Tests for the MD kernel builders (cost-model sanity)."""
+
+import pytest
+
+from repro.gpu import GPUSimulator, RTX_3080
+from repro.workloads.molecular import forces
+
+
+SIM = GPUSimulator()
+ELBOW = RTX_3080.roofline_elbow
+
+
+class TestNonbondedKernel:
+    def test_instructions_scale_with_pairs(self):
+        small = forces.nonbonded_pair_kernel("nb", 1000, 10_000)
+        large = forces.nonbonded_pair_kernel("nb", 1000, 100_000)
+        assert large.warp_insts == pytest.approx(10 * small.warp_insts)
+
+    def test_compute_intensive_at_md_densities(self):
+        kernel = forces.nonbonded_pair_kernel(
+            "nb", 32_000, 32_000 * 200, thread_insts_per_pair=100.0
+        )
+        metrics = SIM.run_kernel(kernel)
+        assert metrics.instruction_intensity > ELBOW
+
+    def test_imbalance_lowers_ilp(self):
+        balanced = forces.nonbonded_pair_kernel("nb", 1000, 10_000,
+                                                imbalance_cv=0.0)
+        skewed = forces.nonbonded_pair_kernel("nb", 1000, 10_000,
+                                              imbalance_cv=1.0)
+        assert skewed.ilp < balanced.ilp
+
+
+class TestPMEPipeline:
+    def test_spread_is_memory_intensive(self):
+        kernel = forces.charge_spread_kernel("spread", 32_000, 64 ** 3)
+        metrics = SIM.run_kernel(kernel)
+        assert metrics.instruction_intensity < ELBOW
+
+    def test_solve_is_streaming(self):
+        kernel = forces.poisson_solve_kernel("solve", 64 ** 3)
+        metrics = SIM.run_kernel(kernel)
+        assert metrics.instruction_intensity < ELBOW
+        assert metrics.memory_stall > metrics.sync_stall
+
+    def test_fft_work_superlinear_in_grid(self):
+        small = forces.fft_3d_kernel("fft", 32 ** 3)
+        large = forces.fft_3d_kernel("fft", 64 ** 3)
+        # N log N: 8x the points -> more than 8x the instructions.
+        assert large.warp_insts > 8 * small.warp_insts
+
+
+class TestHousekeepingKernels:
+    def test_integrate_is_bandwidth_bound(self):
+        kernel = forces.integrate_kernel("nve", 200_000)
+        metrics = SIM.run_kernel(kernel)
+        roof = metrics.instruction_intensity * RTX_3080.peak_gtxn_per_s
+        assert metrics.gips > 0.6 * roof
+
+    def test_constraint_kernel_has_sync_pressure(self):
+        kernel = forces.constraint_kernel("lincs", 50_000)
+        assert kernel.mix.sync >= 0.05
+
+    def test_neighbor_build_tests_more_candidates_than_pairs(self):
+        kernel = forces.neighbor_build_kernel("build", 10_000, 100_000,
+                                              candidate_ratio=3.0)
+        per_candidate = 14.0 / 32.0
+        assert kernel.warp_insts == pytest.approx(
+            300_000 * per_candidate
+        )
+
+    def test_halo_kernel_floor_at_one_atom(self):
+        kernel = forces.halo_exchange_kernel("comm", 0)
+        assert kernel.warp_insts >= 1.0

@@ -1,0 +1,78 @@
+"""Tests for the Gunrock-style frontier kernel builders."""
+
+import pytest
+
+from repro.gpu import GPUSimulator, RTX_3080
+from repro.workloads.graphs import frontier as ops
+
+SIM = GPUSimulator()
+ELBOW = RTX_3080.roofline_elbow
+
+
+class TestAdvanceKernels:
+    def test_work_scales_with_frontier_edges(self):
+        small = ops.advance_twc_kernel(100, 1_000)
+        large = ops.advance_twc_kernel(100, 100_000)
+        assert large.warp_insts > 50 * small.warp_insts
+
+    def test_advance_is_memory_intensive(self):
+        for builder in (ops.advance_twc_kernel, ops.advance_lb_kernel):
+            metrics = SIM.run_kernel(builder(100_000, 1_500_000))
+            assert metrics.instruction_intensity < ELBOW
+
+    def test_pull_is_memory_intensive_and_heavy(self):
+        metrics = SIM.run_kernel(ops.advance_pull_kernel(300_000, 2_000_000))
+        assert metrics.instruction_intensity < ELBOW
+        # Pull over millions of scanned edges takes real time (it is
+        # the GST-dominating kernel).
+        assert metrics.duration_s > 20e-6
+
+    def test_lb_strategy_coalesces_better_than_twc(self):
+        twc = ops.advance_twc_kernel(100_000, 1_000_000)
+        lb = ops.advance_lb_kernel(100_000, 1_000_000)
+        assert lb.memory.coalescence > twc.memory.coalescence
+
+    def test_zero_sized_inputs_floored(self):
+        kernel = ops.advance_twc_kernel(0, 0)
+        assert kernel.warp_insts >= 1.0
+        assert kernel.grid_blocks >= 1
+
+
+class TestUtilityKernels:
+    def test_init_writes_every_vertex(self):
+        kernel = ops.init_distances_kernel(1_000_000)
+        assert kernel.memory.bytes_written == pytest.approx(4e6)
+
+    def test_compaction_pair_is_streaming(self):
+        for builder in (ops.compact_scan_kernel, ops.compact_scatter_kernel):
+            kernel = builder(1_000_000)
+            assert kernel.memory.coalescence >= 0.7
+
+    def test_bitmask_update_is_scattered(self):
+        kernel = ops.bitmask_update_kernel(100_000)
+        assert kernel.memory.coalescence <= 0.3
+
+    def test_length_reduce_has_fixed_output(self):
+        kernel = ops.length_reduce_kernel(500_000)
+        assert kernel.memory.bytes_written == pytest.approx(64.0)
+
+    def test_every_builder_is_simulatable(self):
+        kernels = [
+            ops.init_distances_kernel(10_000),
+            ops.output_offsets_kernel(1_000),
+            ops.advance_twc_kernel(1_000, 10_000),
+            ops.advance_lb_kernel(1_000, 10_000),
+            ops.advance_pull_kernel(5_000, 50_000),
+            ops.filter_cull_kernel(10_000),
+            ops.compact_scan_kernel(10_000),
+            ops.compact_scatter_kernel(10_000),
+            ops.bitmap_convert_kernel(10_000),
+            ops.bitmask_update_kernel(1_000),
+            ops.length_reduce_kernel(1_000),
+            ops.uniquify_kernel(10_000),
+        ]
+        names = {k.name for k in kernels}
+        assert len(names) == 12  # the full GST menu
+        for kernel in kernels:
+            metrics = SIM.run_kernel(kernel)
+            assert metrics.duration_s > 0

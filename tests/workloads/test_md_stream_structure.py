@@ -1,0 +1,85 @@
+"""Structural tests on the MD launch streams (cadence and phases).
+
+The Table-I kernel counts are covered elsewhere; these tests pin the
+*temporal* structure of the streams: per-step kernel cadence, the
+pruning/re-neighbouring intervals, and the phase labels the trace
+export carries.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.workloads.molecular import (
+    GromacsNPT,
+    LammpsColloid,
+    LammpsRhodopsin,
+)
+
+SCALE = 0.05
+
+
+class TestGromacsCadence:
+    @pytest.fixture(scope="class")
+    def stream(self):
+        return GromacsNPT(scale=SCALE, steps=16).launch_stream()
+
+    def test_nonbonded_runs_every_step(self, stream):
+        counts = Counter(l.name for l in stream)
+        assert counts["nbnxn_kernel_ElecEw_VdwLJ_F"] == 16
+
+    def test_prune_runs_every_fourth_step(self, stream):
+        counts = Counter(l.name for l in stream)
+        assert counts["nbnxn_kernel_prune_rolling"] == 4  # steps 0,4,8,12
+
+    def test_fft_runs_twice_per_step(self, stream):
+        counts = Counter(l.name for l in stream)
+        assert counts["pme_cufft_radix4"] == 32  # forward + inverse
+
+    def test_phases_partition_the_step(self, stream):
+        phases = {l.phase for l in stream}
+        assert phases == {"force", "pme", "update"}
+
+    def test_launches_per_step_constant_modulo_prune(self, stream):
+        # 9 kernels + the extra prune on every 4th step.
+        assert len(stream) == 16 * 9 + 4
+
+
+class TestLammpsCadence:
+    def test_lmr_reneighbors_on_interval(self):
+        stream = LammpsRhodopsin(
+            scale=SCALE, steps=20, reneighbor_interval=5
+        ).launch_stream()
+        counts = Counter(l.name for l in stream)
+        # Re-neighbouring at steps 5, 10, 15.
+        assert counts["neighbor_bin_atoms"] == 3
+        assert counts["neighbor_build_full"] == 3
+
+    def test_lmc_reneighbors_every_step(self):
+        stream = LammpsColloid(scale=SCALE, steps=10).launch_stream()
+        counts = Counter(l.name for l in stream)
+        assert counts["neighbor_build_full"] == 9  # steps 1..9
+
+    def test_lmr_bonded_terms_every_step(self):
+        stream = LammpsRhodopsin(scale=SCALE, steps=8).launch_stream()
+        counts = Counter(l.name for l in stream)
+        for name in ("bond_harmonic", "angle_charmm",
+                     "dihedral_charmm", "improper_harmonic"):
+            assert counts[name] == 8
+
+    def test_reneighboring_changes_pair_counts(self):
+        """After a re-neighbour event the pair kernel's instruction
+        budget reflects the perturbed geometry."""
+        workload = LammpsColloid(scale=SCALE, steps=6,
+                                 reneighbor_interval=2)
+        stream = workload.launch_stream()
+        pair_insts = [
+            l.kernel.warp_insts
+            for l in stream
+            if l.name == "pair_colloid"
+        ]
+        assert len(set(round(x) for x in pair_insts)) > 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="steps"):
+            LammpsRhodopsin(scale=SCALE, steps=0)
