@@ -20,6 +20,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -27,6 +28,7 @@ from repro.core import (
     LAPTOP_SCALE,
     OBSERVATION_SCALE,
     PAPER_SCALE,
+    ResultCache,
     characterize,
     check_observations,
     run_suite,
@@ -51,6 +53,27 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=sorted(_PRESETS),
         default="laptop",
         help="scale preset for suite-level commands (default: laptop)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="characterize N workloads in parallel for suite-level "
+        "commands (negative: one worker per CPU; default: serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=os.environ.get("REPRO_CACHE_DIR"),
+        metavar="PATH",
+        help="persist characterization results under PATH and reuse "
+        "them across runs (default: $REPRO_CACHE_DIR, else "
+        "in-memory only)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache entirely",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -108,31 +131,48 @@ def _cmd_characterize(abbr: str, scale: float) -> int:
     return 0
 
 
-def _cmd_table1(preset) -> int:
+def _print_cache_stats(cache: Optional[ResultCache]) -> None:
+    """One-line cache summary on stderr (keeps exhibits clean)."""
+    if cache is not None:
+        print(f"[cache] {cache.stats.render()}", file=sys.stderr)
+
+
+def _cmd_table1(preset, jobs, cache) -> int:
     from repro.analysis.tables import render_table1
 
-    result = run_suite(["Cactus"], preset=preset)
+    result = run_suite(["Cactus"], preset=preset, jobs=jobs, cache=cache)
     rows = [c.table1 for c in result.suite("Cactus")]
     print(render_table1(rows))
+    _print_cache_stats(cache)
     return 0
 
 
-def _cmd_observations(preset) -> int:
-    cactus = run_suite(["Cactus"], preset=preset)
-    prt = run_suite(["Parboil", "Rodinia", "Tango"], preset=preset)
+def _cmd_observations(preset, jobs, cache) -> int:
+    cactus = run_suite(["Cactus"], preset=preset, jobs=jobs, cache=cache)
+    prt = run_suite(
+        ["Parboil", "Rodinia", "Tango"], preset=preset, jobs=jobs, cache=cache
+    )
     report = check_observations(cactus, prt)
     print(report.render())
+    _print_cache_stats(cache)
     return 0 if report.passed >= 11 else 1
 
 
-def _cmd_report(preset, output: Optional[str], with_prt: bool) -> int:
-    cactus = run_suite(["Cactus"], preset=preset)
+def _cmd_report(preset, output: Optional[str], with_prt: bool, jobs, cache) -> int:
+    cactus = run_suite(["Cactus"], preset=preset, jobs=jobs, cache=cache)
     prt = (
-        run_suite(["Parboil", "Rodinia", "Tango"], preset=preset)
+        run_suite(
+            ["Parboil", "Rodinia", "Tango"],
+            preset=preset,
+            jobs=jobs,
+            cache=cache,
+        )
         if with_prt
         else None
     )
-    text = generate_report(cactus, prt)
+    text = generate_report(
+        cactus, prt, cache_stats=cache.stats if cache else None
+    )
     if output:
         with open(output, "w", encoding="utf-8") as handle:
             handle.write(text)
@@ -152,18 +192,27 @@ def _cmd_trace(abbr: str, path: str, scale: float) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
     preset = _PRESETS[args.preset]
+    if args.cache_dir is not None and os.path.exists(args.cache_dir) \
+            and not os.path.isdir(args.cache_dir):
+        parser.error(f"--cache-dir: not a directory: {args.cache_dir}")
+    cache = (
+        None
+        if args.no_cache
+        else ResultCache(cache_dir=args.cache_dir)
+    )
     if args.command == "list":
         return _cmd_list()
     if args.command == "characterize":
         return _cmd_characterize(args.abbr, args.scale)
     if args.command == "table1":
-        return _cmd_table1(preset)
+        return _cmd_table1(preset, args.jobs, cache)
     if args.command == "observations":
-        return _cmd_observations(preset)
+        return _cmd_observations(preset, args.jobs, cache)
     if args.command == "report":
-        return _cmd_report(preset, args.output, args.with_prt)
+        return _cmd_report(preset, args.output, args.with_prt, args.jobs, cache)
     if args.command == "trace":
         return _cmd_trace(args.abbr, args.path, args.scale)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,20 +1,37 @@
 """End-to-end orchestration: the top-down characterization pipeline."""
 
-from repro.core.characterize import Characterization, characterize
-from repro.core.compare import ObservationReport, check_observations
+from repro.core.cache import CacheStats, ResultCache
+from repro.core.characterize import (
+    Characterization,
+    build_characterization,
+    characterize,
+)
+from repro.core.compare import (
+    ObservationReport,
+    check_observations,
+    diff_characterizations,
+    diff_suite_results,
+)
 from repro.core.config import (
     LAPTOP_SCALE,
     OBSERVATION_SCALE,
     PAPER_SCALE,
     ScalePreset,
 )
+from repro.core.engine import CharacterizationEngine
 from repro.core.suite import SuiteResult, run_suite
 
 __all__ = [
+    "CacheStats",
     "Characterization",
+    "CharacterizationEngine",
+    "ResultCache",
+    "build_characterization",
     "characterize",
     "ObservationReport",
     "check_observations",
+    "diff_characterizations",
+    "diff_suite_results",
     "LAPTOP_SCALE",
     "OBSERVATION_SCALE",
     "PAPER_SCALE",

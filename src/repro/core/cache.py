@@ -1,0 +1,226 @@
+"""Content-addressed result cache for the characterization engine.
+
+Layout
+------
+
+A :class:`ResultCache` has two tiers:
+
+* an **in-memory LRU** (bounded ``OrderedDict``) that serves repeated
+  lookups within one process at dict speed, and
+* an optional **persistent tier**: one JSON file per entry under
+  ``<cache_dir>/v<CACHE_SCHEMA_VERSION>/<key[:2]>/<key>.json``.
+
+Keys are hex SHA-256 digests produced by :mod:`repro.gpu.digest`; the
+two-character fan-out directory keeps any single directory small even
+with hundreds of thousands of entries.  Writes are atomic (temp file +
+``os.replace``) so concurrent worker processes sharing one cache
+directory can never observe a torn entry; a corrupt or unreadable file
+is treated as a miss and rewritten.
+
+Invalidation is by versioning, not deletion: the schema version is part
+of both the key material and the directory path, so bumping
+:data:`~repro.gpu.digest.CACHE_SCHEMA_VERSION` orphans every stale
+entry at once (``prune`` removes orphaned version trees).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional
+
+from repro.gpu.device import DeviceSpec
+from repro.gpu.digest import (
+    CACHE_SCHEMA_VERSION,
+    launch_stream_digest,
+    stable_digest,
+)
+from repro.gpu.kernel import KernelLaunch
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache (mergeable across workers)."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.memory_hits += other.memory_hits
+        self.disk_hits += other.disk_hits
+        self.misses += other.misses
+        self.stores += other.stores
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.hits}/{self.lookups} hits "
+            f"({self.memory_hits} memory, {self.disk_hits} disk), "
+            f"{self.stores} stores, hit rate {self.hit_rate:.0%}"
+        )
+
+
+@dataclass
+class ResultCache:
+    """Two-tier (LRU memory + optional disk) content-addressed cache."""
+
+    cache_dir: Optional[Path] = None
+    max_memory_entries: int = 4096
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        # An empty string (e.g. REPRO_CACHE_DIR="") means "no disk tier",
+        # not Path("") == the current directory.
+        if self.cache_dir is not None and str(self.cache_dir) != "":
+            self.cache_dir = Path(self.cache_dir)
+        else:
+            self.cache_dir = None
+        if self.max_memory_entries < 0:
+            raise ValueError("max_memory_entries must be non-negative")
+        self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+
+    # -- paths ---------------------------------------------------------
+    @property
+    def version_dir(self) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"v{CACHE_SCHEMA_VERSION}"
+
+    def _path(self, key: str) -> Optional[Path]:
+        root = self.version_dir
+        if root is None:
+            return None
+        return root / key[:2] / f"{key}.json"
+
+    # -- core API ------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Payload stored under *key*, or ``None`` on a miss."""
+        payload = self._memory.get(key)
+        if payload is not None:
+            self._memory.move_to_end(key)
+            self.stats.memory_hits += 1
+            return payload
+        path = self._path(key)
+        if path is not None:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, ValueError):
+                payload = None  # missing or corrupt → plain miss
+            if payload is not None:
+                self.stats.disk_hits += 1
+                self._remember(key, payload)
+                return payload
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Store *payload* under *key* in both tiers."""
+        self.stats.stores += 1
+        self._remember(key, payload)
+        path = self._path(key)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic publish: concurrent workers may race on the same key,
+        # but both write identical content and os.replace is atomic.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def _remember(self, key: str, payload: Dict[str, Any]) -> None:
+        if self.max_memory_entries == 0:
+            return
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+
+    # -- maintenance ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def persistent_entries(self) -> int:
+        """Number of entries in the current persistent version tree."""
+        root = self.version_dir
+        if root is None or not root.is_dir():
+            return 0
+        return sum(1 for _ in root.glob("*/*.json"))
+
+    def prune(self) -> int:
+        """Drop persistent trees of older schema versions; count them."""
+        if self.cache_dir is None or not self.cache_dir.is_dir():
+            return 0
+        removed = 0
+        keep = f"v{CACHE_SCHEMA_VERSION}"
+        for child in self.cache_dir.iterdir():
+            if child.is_dir() and child.name.startswith("v") and child.name != keep:
+                shutil.rmtree(child, ignore_errors=True)
+                removed += 1
+        return removed
+
+    def clear_memory(self) -> None:
+        self._memory.clear()
+
+
+def characterization_key(
+    device: DeviceSpec,
+    options: Any,
+    workload_identity: Dict[str, Any],
+    launches: Iterable[KernelLaunch],
+) -> str:
+    """Cache key for a whole-workload characterization result.
+
+    Content-addressed on the (steady-state-cropped) launch stream: any
+    change to the workload model that alters even one launch changes the
+    key, so stale results can never be served.  The device and
+    simulation options cover the simulator and roofline classification;
+    *workload_identity* (name/abbr/suite/domain) covers the metadata
+    columns carried into Table I.
+    """
+    return stable_digest(
+        [
+            "characterization",
+            CACHE_SCHEMA_VERSION,
+            device,
+            options,
+            workload_identity,
+            launch_stream_digest(launches),
+        ]
+    )

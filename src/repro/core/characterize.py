@@ -9,7 +9,7 @@ the dominant-kernel selection.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.analysis.distribution import Table1Row, table1_row
 from repro.analysis.roofline import (
@@ -22,6 +22,9 @@ from repro.gpu.simulator import GPUSimulator
 from repro.profiler.profiler import Profiler
 from repro.profiler.records import ApplicationProfile
 from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cache import ResultCache
 
 
 @dataclass
@@ -48,20 +51,16 @@ class Characterization:
         return compute, len(self.dominant_points) - compute
 
 
-def characterize(
-    workload: Workload,
-    device: DeviceSpec = RTX_3080,
-    profiler: Optional[Profiler] = None,
+def build_characterization(
+    abbr: str, profile: ApplicationProfile, device: DeviceSpec = RTX_3080
 ) -> Characterization:
-    """Run the full per-workload characterization pipeline."""
-    profiler = profiler or Profiler(simulator=GPUSimulator(device))
-    profile = profiler.profile(workload)
+    """Derive every Section-V analysis from an existing profile."""
     from repro.analysis.distribution import cumulative_time_curve
 
     return Characterization(
-        abbr=workload.abbr,
+        abbr=abbr,
         profile=profile,
-        table1=table1_row(profile, abbr=workload.abbr),
+        table1=table1_row(profile, abbr=abbr),
         cumulative_curve=cumulative_time_curve(profile, max_kernels=14),
         aggregate_point=application_roofline(profile, device),
         kernel_points=kernel_roofline(profile, device=device),
@@ -69,3 +68,56 @@ def characterize(
             profile, profile.dominant_kernels, device=device
         ),
     )
+
+
+def characterize(
+    workload: Workload,
+    device: DeviceSpec = RTX_3080,
+    profiler: Optional[Profiler] = None,
+    cache: Optional["ResultCache"] = None,
+) -> Characterization:
+    """Run the full per-workload characterization pipeline.
+
+    With a *cache*, the result is memoized under a content-addressed key
+    of ``(device, simulation options, launch-stream digest)`` — a warm
+    hit skips the simulation and every analysis step and deserializes a
+    result that compares equal to a fresh computation.
+    """
+    profiler = profiler or Profiler(
+        simulator=GPUSimulator(device, cache=cache)
+    )
+    if cache is None:
+        return build_characterization(
+            workload.abbr, profiler.profile(workload), device
+        )
+
+    from repro.core.cache import characterization_key
+    from repro.core.serialize import (
+        characterization_from_dict,
+        characterization_to_dict,
+    )
+
+    stream = profiler.prepare_stream(workload)
+    key = characterization_key(
+        device,
+        profiler.simulator.options,
+        {
+            "name": workload.name,
+            "abbr": workload.abbr,
+            "suite": workload.suite,
+            "domain": workload.domain,
+        },
+        stream,
+    )
+    payload = cache.get(key)
+    if payload is not None:
+        return characterization_from_dict(payload)
+    profile = profiler.profile_launches(
+        stream,
+        workload=workload.name,
+        suite=workload.suite,
+        domain=workload.domain,
+    )
+    result = build_characterization(workload.abbr, profile, device)
+    cache.put(key, characterization_to_dict(result))
+    return result

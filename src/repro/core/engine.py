@@ -1,0 +1,213 @@
+"""Parallel, cache-backed suite-characterization engine.
+
+:class:`CharacterizationEngine` is the production path for running the
+paper's full top-down pipeline over whole suites.  It improves on the
+naive serial loop in two orthogonal ways:
+
+* **Parallelism** — per-workload characterizations are independent, so
+  the engine fans them out across a ``concurrent.futures`` process
+  pool (``jobs`` workers).  Results are reassembled in registration
+  order, so a parallel run is indistinguishable from a serial one; if a
+  pool cannot be created (restricted sandboxes, missing ``os.fork``)
+  the engine silently falls back to the serial path.
+* **Result reuse** — an optional :class:`~repro.core.cache.ResultCache`
+  memoizes both per-kernel :class:`~repro.gpu.metrics.KernelMetrics`
+  (inside the simulator) and whole
+  :class:`~repro.core.characterize.Characterization` objects, keyed on
+  content digests of ``(DeviceSpec, SimulationOptions, launch
+  stream)``.  A warm run replays the suite from disk without touching
+  the timing model.
+
+Correctness of this combination is enforced by the differential test
+harness (``tests/engine/test_differential.py``): serial, parallel,
+cold-cache and warm-cache runs must produce *equal* results, and the
+golden suite (``tests/golden``) pins the science against drift.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cache import CacheStats, ResultCache
+from repro.core.characterize import Characterization, characterize
+from repro.core.config import LAPTOP_SCALE, ScalePreset
+from repro.gpu.device import RTX_3080, DeviceSpec
+from repro.gpu.simulator import GPUSimulator, SimulationOptions
+from repro.profiler.profiler import Profiler
+from repro.workloads.registry import get_workload, list_workloads
+
+
+def _resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``jobs`` request: None/0 → 1, negative → cpu count."""
+    if jobs is None or jobs == 0:
+        return 1
+    if jobs < 0:
+        return max(1, os.cpu_count() or 1)
+    return jobs
+
+
+def _characterize_one(
+    abbr: str,
+    scale: float,
+    seed: int,
+    device: DeviceSpec,
+    options: SimulationOptions,
+    cache_dir: Optional[str],
+) -> Tuple[str, Characterization, CacheStats]:
+    """Worker body: characterize one workload from its identity.
+
+    Module-level (picklable) so it can run inside a process pool; each
+    worker opens its own handle on the shared cache directory — entry
+    writes are atomic, so concurrent workers can share it safely.
+    """
+    cache = ResultCache(cache_dir=cache_dir) if cache_dir else None
+    profiler = Profiler(
+        simulator=GPUSimulator(device, options=options, cache=cache)
+    )
+    workload = get_workload(abbr, scale=scale, seed=seed)
+    result = characterize(
+        workload, device=device, profiler=profiler, cache=cache
+    )
+    stats = cache.stats if cache is not None else CacheStats()
+    return abbr, result, stats
+
+
+@dataclass
+class CharacterizationEngine:
+    """Runs per-workload characterizations, possibly in parallel.
+
+    Parameters
+    ----------
+    device, options:
+        The simulated platform and simulator switches, shared by every
+        workload of a run (both are part of every cache key).
+    jobs:
+        Worker processes for suite runs.  ``None``/``0``/``1`` → serial;
+        negative → one worker per CPU.
+    cache:
+        Optional result cache.  Pass ``ResultCache()`` for an in-memory
+        LRU or ``ResultCache(cache_dir=...)`` for cross-run persistence.
+    """
+
+    device: DeviceSpec = RTX_3080
+    options: SimulationOptions = field(default_factory=SimulationOptions)
+    jobs: Optional[int] = None
+    cache: Optional[ResultCache] = None
+
+    # -- single workload ----------------------------------------------
+    def characterize(self, workload) -> Characterization:
+        """Characterize one instantiated workload (serial, cached)."""
+        profiler = Profiler(
+            simulator=GPUSimulator(
+                self.device, options=self.options, cache=self.cache
+            )
+        )
+        return characterize(
+            workload, device=self.device, profiler=profiler, cache=self.cache
+        )
+
+    # -- whole suites --------------------------------------------------
+    def select(
+        self,
+        suites: Sequence[str],
+        workloads: Optional[Sequence[str]] = None,
+    ) -> List[str]:
+        """Workload abbreviations of *suites*, in registration order."""
+        selected: List[str] = []
+        for suite in suites:
+            selected.extend(list_workloads(suite))
+        if workloads is not None:
+            wanted = {w.upper() for w in workloads}
+            selected = [abbr for abbr in selected if abbr in wanted]
+        if not selected:
+            raise ValueError(f"no workloads selected from suites {suites!r}")
+        return selected
+
+    def run_suite(
+        self,
+        suites: Sequence[str] = ("Cactus",),
+        preset: ScalePreset = LAPTOP_SCALE,
+        workloads: Optional[Sequence[str]] = None,
+    ):
+        """Characterize every workload of *suites* into a SuiteResult.
+
+        Results are keyed and ordered deterministically by the suite
+        registration order regardless of worker completion order.
+        """
+        from repro.core.suite import SuiteResult
+
+        selected = self.select(suites, workloads)
+        jobs = _resolve_jobs(self.jobs)
+        result = SuiteResult(device=self.device, preset=preset)
+
+        characterized: Dict[str, Characterization] = {}
+        if jobs > 1:
+            characterized = self._run_parallel(selected, preset, jobs)
+        if not characterized:  # serial path or parallel fallback
+            characterized = self._run_serial(selected, preset)
+        for abbr in selected:
+            result.results[abbr] = characterized[abbr]
+        return result
+
+    # -- execution strategies ------------------------------------------
+    def _run_serial(
+        self, selected: Sequence[str], preset: ScalePreset
+    ) -> Dict[str, Characterization]:
+        profiler = Profiler(
+            simulator=GPUSimulator(
+                self.device, options=self.options, cache=self.cache
+            )
+        )
+        out: Dict[str, Characterization] = {}
+        for abbr in selected:
+            workload = get_workload(
+                abbr, scale=preset.for_workload(abbr), seed=preset.seed
+            )
+            out[abbr] = characterize(
+                workload,
+                device=self.device,
+                profiler=profiler,
+                cache=self.cache,
+            )
+        return out
+
+    def _run_parallel(
+        self, selected: Sequence[str], preset: ScalePreset, jobs: int
+    ) -> Dict[str, Characterization]:
+        """Fan out across a process pool; {} signals fallback to serial."""
+        cache_dir = (
+            str(self.cache.cache_dir)
+            if self.cache is not None and self.cache.cache_dir is not None
+            else None
+        )
+        out: Dict[str, Characterization] = {}
+        try:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(selected))) as pool:
+                futures = [
+                    pool.submit(
+                        _characterize_one,
+                        abbr,
+                        preset.for_workload(abbr),
+                        preset.seed,
+                        self.device,
+                        self.options,
+                        cache_dir,
+                    )
+                    for abbr in selected
+                ]
+                for future in futures:
+                    abbr, characterization, stats = future.result()
+                    out[abbr] = characterization
+                    if self.cache is not None:
+                        self.cache.stats.merge(stats)
+        except (OSError, PermissionError, NotImplementedError):
+            return {}  # pool unavailable → caller falls back to serial
+        return out
+
+    # -- reporting ------------------------------------------------------
+    @property
+    def cache_stats(self) -> Optional[CacheStats]:
+        return self.cache.stats if self.cache is not None else None

@@ -10,9 +10,12 @@ between model versions.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.analysis.correlation import correlation_matrix
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cache import CacheStats
 from repro.analysis.distribution import dominance_histogram
 from repro.analysis.roofline import render_roofline_ascii
 from repro.core.compare import check_observations, cluster_dominant_kernels
@@ -66,8 +69,13 @@ def generate_report(
     cactus: SuiteResult,
     prt: Optional[SuiteResult] = None,
     title: str = "Cactus characterization report",
+    cache_stats: Optional["CacheStats"] = None,
 ) -> str:
-    """Render a Markdown report for a Cactus run (and optional PRT run)."""
+    """Render a Markdown report for a Cactus run (and optional PRT run).
+
+    Pass the engine's ``cache_stats`` to append a result-cache summary
+    section (hit rates tell you whether the run was served warm).
+    """
     parts: List[str] = [f"# {title}\n"]
     parts.append(
         f"Device: {cactus.device.name}; scale preset: "
@@ -125,6 +133,11 @@ def generate_report(
         report = check_observations(cactus, prt)
         parts.append(
             _section("Observations 1-12", _code(report.render()))
+        )
+
+    if cache_stats is not None:
+        parts.append(
+            _section("Engine cache", f"Result cache: {cache_stats.render()}.")
         )
 
     return "\n".join(parts)

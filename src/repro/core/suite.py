@@ -3,14 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
-from repro.core.characterize import Characterization, characterize
+from repro.core.characterize import Characterization
 from repro.core.config import LAPTOP_SCALE, ScalePreset
 from repro.gpu.device import RTX_3080, DeviceSpec
-from repro.gpu.simulator import GPUSimulator
-from repro.profiler.profiler import Profiler
-from repro.workloads.registry import get_workload, list_workloads
+from repro.workloads.registry import list_workloads
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cache import ResultCache
 
 
 @dataclass
@@ -50,27 +51,22 @@ def run_suite(
     preset: ScalePreset = LAPTOP_SCALE,
     device: DeviceSpec = RTX_3080,
     workloads: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+    cache: Optional["ResultCache"] = None,
+    cache_dir: Optional[str] = None,
 ) -> SuiteResult:
     """Characterize every workload of the given suites.
 
-    Pass ``workloads`` to restrict to specific abbreviations.
+    Pass ``workloads`` to restrict to specific abbreviations, ``jobs``
+    to fan out across a process pool (negative → one worker per CPU),
+    and ``cache``/``cache_dir`` to reuse results across calls and runs.
+    This is a thin wrapper over
+    :class:`~repro.core.engine.CharacterizationEngine`.
     """
-    profiler = Profiler(simulator=GPUSimulator(device))
-    selected: List[str] = []
-    for suite in suites:
-        selected.extend(list_workloads(suite))
-    if workloads is not None:
-        wanted = {w.upper() for w in workloads}
-        selected = [abbr for abbr in selected if abbr in wanted]
-    if not selected:
-        raise ValueError(f"no workloads selected from suites {suites!r}")
+    from repro.core.cache import ResultCache
+    from repro.core.engine import CharacterizationEngine
 
-    result = SuiteResult(device=device, preset=preset)
-    for abbr in selected:
-        workload = get_workload(
-            abbr, scale=preset.for_workload(abbr), seed=preset.seed
-        )
-        result.results[abbr] = characterize(
-            workload, device=device, profiler=profiler
-        )
-    return result
+    if cache is None and cache_dir is not None:
+        cache = ResultCache(cache_dir=cache_dir)
+    engine = CharacterizationEngine(device=device, jobs=jobs, cache=cache)
+    return engine.run_suite(suites, preset=preset, workloads=workloads)

@@ -1,0 +1,116 @@
+"""Stable content digests for the GPU-model value types.
+
+The result cache (:mod:`repro.core.cache`) is content-addressed: a
+cached :class:`~repro.gpu.metrics.KernelMetrics` or whole
+characterization is keyed on a SHA-256 digest of everything that
+determines it — the :class:`~repro.gpu.device.DeviceSpec`, the
+:class:`~repro.gpu.simulator.SimulationOptions` and the kernel
+characteristics (or the whole launch stream).  This module provides the
+canonicalization and hashing primitives those keys are built from.
+
+Design rules that make the digests trustworthy cache keys:
+
+* **Stability** — the digest of equal values is identical across
+  processes, interpreter restarts and ``PYTHONHASHSEED`` values.
+  Floats are hashed via :meth:`float.hex` (exact, locale-independent),
+  dict keys are sorted, and SHA-256 itself is deterministic.
+* **Injectivity by construction** — canonical forms are tagged with the
+  dataclass name and field names, so two different types (or the same
+  type with permuted field values) cannot collide structurally.
+* **Versioned invalidation** — :data:`CACHE_SCHEMA_VERSION` is folded
+  into every key.  Bump it whenever the canonical form, the metric
+  serialization, or the *semantics* of the analytical model change, and
+  every stale entry silently becomes unreachable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Dict, Iterable, Optional
+
+from repro.gpu.device import DeviceSpec
+from repro.gpu.kernel import KernelCharacteristics, KernelLaunch
+
+#: Version folded into every cache key.  Bump on any change to the
+#: canonical form, the serialized payloads, or the model semantics.
+CACHE_SCHEMA_VERSION = 1
+
+
+def canonicalize(obj: Any) -> Any:
+    """Reduce *obj* to a JSON-safe canonical form with stable hashing.
+
+    Supports the primitives, lists/tuples, string-keyed dicts and
+    (recursively) dataclasses.  Floats become their exact hex form so
+    the digest never depends on repr shortening rules.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return float.hex(obj)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        form: Dict[str, Any] = {"__dataclass__": type(obj).__name__}
+        for field in dataclasses.fields(obj):
+            form[field.name] = canonicalize(getattr(obj, field.name))
+        return form
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(item) for item in obj]
+    if isinstance(obj, dict):
+        if not all(isinstance(k, str) for k in obj):
+            raise TypeError("only string-keyed dicts can be canonicalized")
+        return {k: canonicalize(obj[k]) for k in sorted(obj)}
+    raise TypeError(f"cannot canonicalize {type(obj).__name__!r} values")
+
+
+def stable_digest(obj: Any) -> str:
+    """Hex SHA-256 of the canonical form of *obj*."""
+    encoded = json.dumps(
+        canonicalize(obj), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()
+
+
+def kernel_digest(kernel: KernelCharacteristics) -> str:
+    """Content digest of one kernel description."""
+    return stable_digest(["kernel", CACHE_SCHEMA_VERSION, kernel])
+
+
+def kernel_metrics_key(
+    device: DeviceSpec, options: Any, kernel: KernelCharacteristics
+) -> str:
+    """Cache key for the simulated metrics of one kernel launch.
+
+    *options* is the simulator's ``SimulationOptions`` (typed loosely to
+    keep this module below the simulator in the layering).
+    """
+    return stable_digest(
+        ["kernel-metrics", CACHE_SCHEMA_VERSION, device, options, kernel]
+    )
+
+
+def launch_stream_digest(
+    launches: Iterable[KernelLaunch],
+    _memo: Optional[Dict[KernelCharacteristics, str]] = None,
+) -> str:
+    """Content digest of an ordered launch stream.
+
+    Streams routinely repeat a handful of kernels thousands of times, so
+    per-kernel digests are memoized and the stream hash is folded
+    incrementally instead of materializing one giant canonical form.
+    """
+    memo: Dict[KernelCharacteristics, str] = (
+        _memo if _memo is not None else {}
+    )
+    hasher = hashlib.sha256(
+        f"launch-stream:{CACHE_SCHEMA_VERSION}".encode("utf-8")
+    )
+    for launch in launches:
+        digest = memo.get(launch.kernel)
+        if digest is None:
+            digest = kernel_digest(launch.kernel)
+            memo[launch.kernel] = digest
+        hasher.update(
+            f"{launch.stream_id}|{launch.phase}|{digest}".encode("utf-8")
+        )
+    return hasher.hexdigest()

@@ -120,6 +120,28 @@ class KernelMetrics:
         numeric["instruction_intensity"] = self.instruction_intensity
         return numeric
 
+    # Serialization -----------------------------------------------------
+    def to_json_dict(self) -> Dict[str, object]:
+        """Lossless JSON form; ``from_json_dict`` inverts it exactly.
+
+        Python floats survive a JSON round trip bit-for-bit (repr-based
+        encoding), so a deserialized record compares equal to the
+        original — the property the result cache's differential tests
+        assert.
+        """
+        payload: Dict[str, object] = {}
+        for item in fields(self):
+            value = getattr(self, item.name)
+            payload[item.name] = list(value) if item.name == "tags" else value
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, object]) -> "KernelMetrics":
+        """Rebuild a record written by :meth:`to_json_dict`."""
+        data = dict(payload)
+        data["tags"] = tuple(data.get("tags", ()))
+        return cls(**data)  # type: ignore[arg-type]
+
 
 #: Human-readable descriptions, mirroring Table IV of the paper.
 METRIC_DESCRIPTIONS: Dict[str, str] = {

@@ -9,10 +9,11 @@ simulation of workloads with millions of repeated launches cheap.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Protocol
 
 from repro.gpu.device import RTX_3080, DeviceSpec
+from repro.gpu.digest import kernel_metrics_key
 from repro.gpu.kernel import KernelCharacteristics, KernelLaunch
 from repro.gpu.memory import CacheModel
 from repro.gpu.metrics import KernelMetrics
@@ -23,9 +24,24 @@ from repro.gpu.timing import TimingModel, TimingOptions
 class SimulationOptions:
     """Options controlling a simulation run."""
 
-    timing: TimingOptions = TimingOptions()
+    # A default_factory (not a shared default instance) so every options
+    # object owns its own TimingOptions — a plain default would alias one
+    # module-level instance across every SimulationOptions ever built.
+    timing: TimingOptions = field(default_factory=TimingOptions)
     #: Disable the cache model (every access goes to DRAM) — ablation.
     model_caches: bool = True
+
+
+class MetricsCache(Protocol):
+    """Persistent key/value store the simulator can memoize into.
+
+    Implemented by :class:`repro.core.cache.ResultCache`; typed
+    structurally here so the gpu layer stays below core.
+    """
+
+    def get(self, key: str) -> Optional[dict]: ...
+
+    def put(self, key: str, payload: dict) -> None: ...
 
 
 class _NoCacheModel(CacheModel):
@@ -58,9 +74,11 @@ class GPUSimulator:
         self,
         device: DeviceSpec = RTX_3080,
         options: SimulationOptions | None = None,
+        cache: Optional[MetricsCache] = None,
     ) -> None:
         self.device = device
         self.options = options or SimulationOptions()
+        self.cache = cache
         cache_model = (
             CacheModel(device)
             if self.options.model_caches
@@ -72,9 +90,23 @@ class GPUSimulator:
         self._memo: Dict[KernelCharacteristics, KernelMetrics] = {}
 
     def run_kernel(self, kernel: KernelCharacteristics) -> KernelMetrics:
-        """Metrics for a single launch of *kernel* (memoized)."""
+        """Metrics for a single launch of *kernel*.
+
+        Memoized in-process; when a persistent ``cache`` is attached,
+        results are also reused across runs, keyed on the content digest
+        of ``(device, options, kernel)``.
+        """
         cached = self._memo.get(kernel)
-        if cached is None:
+        if cached is None and self.cache is not None:
+            key = kernel_metrics_key(self.device, self.options, kernel)
+            payload = self.cache.get(key)
+            if payload is not None:
+                cached = KernelMetrics.from_json_dict(payload)
+            else:
+                cached = self.timing_model.run(kernel)
+                self.cache.put(key, cached.to_json_dict())
+            self._memo[kernel] = cached
+        elif cached is None:
             cached = self.timing_model.run(kernel)
             self._memo[kernel] = cached
         return cached

@@ -33,8 +33,14 @@ class Profiler:
         self.steady_state = steady_state
 
     # ------------------------------------------------------------------
-    def profile(self, workload: "Workload") -> ApplicationProfile:
-        """Run *workload* and return its aggregated profile."""
+    def prepare_stream(self, workload: "Workload") -> List[KernelLaunch]:
+        """*workload*'s launch stream after steady-state cropping.
+
+        This is exactly the launch sequence :meth:`profile` aggregates;
+        the characterization engine hashes it to build content-addressed
+        cache keys, so it must stay the single source of truth for what
+        gets measured.
+        """
         stream = list(workload.launch_stream())
         if not stream:
             raise ValueError(
@@ -42,8 +48,13 @@ class Profiler:
             )
         if self.steady_state and workload.repetitive:
             stream = select_steady_state(stream)
+        return stream
+
+    # ------------------------------------------------------------------
+    def profile(self, workload: "Workload") -> ApplicationProfile:
+        """Run *workload* and return its aggregated profile."""
         return self.profile_launches(
-            stream,
+            self.prepare_stream(workload),
             workload=workload.name,
             suite=workload.suite,
             domain=workload.domain,

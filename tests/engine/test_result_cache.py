@@ -1,0 +1,116 @@
+"""Unit tests for the two-tier result cache."""
+
+import json
+
+import pytest
+
+from repro.core.cache import CacheStats, ResultCache
+from repro.gpu.digest import CACHE_SCHEMA_VERSION
+
+KEY_A = "aa" + "0" * 62
+KEY_B = "bb" + "0" * 62
+
+
+class TestMemoryTier:
+    def test_roundtrip(self):
+        cache = ResultCache()
+        assert cache.get(KEY_A) is None
+        cache.put(KEY_A, {"value": 1})
+        assert cache.get(KEY_A) == {"value": 1}
+        assert cache.stats.memory_hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(max_memory_entries=2)
+        cache.put("a" * 64, {"n": 1})
+        cache.put("b" * 64, {"n": 2})
+        assert cache.get("a" * 64) == {"n": 1}  # refresh "a"
+        cache.put("c" * 64, {"n": 3})  # evicts "b", the LRU entry
+        assert cache.get("b" * 64) is None
+        assert cache.get("a" * 64) == {"n": 1}
+        assert cache.get("c" * 64) == {"n": 3}
+
+    def test_zero_capacity_disables_memory_tier(self):
+        cache = ResultCache(max_memory_entries=0)
+        cache.put(KEY_A, {"v": 1})
+        assert len(cache) == 0
+        assert cache.get(KEY_A) is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_memory_entries=-1)
+
+
+class TestPersistentTier:
+    def test_survives_process_boundary_simulation(self, tmp_path):
+        ResultCache(cache_dir=tmp_path).put(KEY_A, {"value": 42})
+        fresh = ResultCache(cache_dir=tmp_path)
+        assert fresh.get(KEY_A) == {"value": 42}
+        assert fresh.stats.disk_hits == 1
+
+    def test_layout_is_versioned_and_fanned_out(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        cache.put(KEY_A, {"v": 1})
+        expected = (
+            tmp_path
+            / f"v{CACHE_SCHEMA_VERSION}"
+            / KEY_A[:2]
+            / f"{KEY_A}.json"
+        )
+        assert expected.is_file()
+        assert json.loads(expected.read_text()) == {"v": 1}
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        cache.put(KEY_A, {"v": 1})
+        path = cache._path(KEY_A)
+        path.write_text("{ not json", encoding="utf-8")
+        fresh = ResultCache(cache_dir=tmp_path)
+        assert fresh.get(KEY_A) is None
+        assert fresh.stats.misses == 1
+
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        ResultCache(cache_dir=tmp_path).put(KEY_A, {"v": 1})
+        fresh = ResultCache(cache_dir=tmp_path)
+        fresh.get(KEY_A)
+        fresh.get(KEY_A)
+        assert fresh.stats.disk_hits == 1
+        assert fresh.stats.memory_hits == 1
+
+    def test_persistent_entries_counts_current_version(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        cache.put(KEY_A, {"v": 1})
+        cache.put(KEY_B, {"v": 2})
+        assert cache.persistent_entries() == 2
+
+    def test_prune_drops_stale_version_trees(self, tmp_path):
+        stale = tmp_path / "v0" / "ab"
+        stale.mkdir(parents=True)
+        (stale / ("ab" + "0" * 62 + ".json")).write_text("{}")
+        cache = ResultCache(cache_dir=tmp_path)
+        cache.put(KEY_A, {"v": 1})
+        assert cache.prune() == 1
+        assert not (tmp_path / "v0").exists()
+        assert cache.persistent_entries() == 1
+
+
+class TestStats:
+    def test_merge_and_render(self):
+        a = CacheStats(memory_hits=1, disk_hits=2, misses=3, stores=4)
+        b = CacheStats(memory_hits=10, disk_hits=20, misses=30, stores=40)
+        a.merge(b)
+        assert a.as_dict() == {
+            "memory_hits": 11,
+            "disk_hits": 22,
+            "misses": 33,
+            "stores": 44,
+        }
+        assert a.hits == 33
+        assert a.lookups == 66
+        assert "hit rate 50%" in a.render()
+
+    def test_empty_stats(self):
+        stats = CacheStats()
+        assert stats.hit_rate == 0.0
+        assert "0/0 hits" in stats.render()

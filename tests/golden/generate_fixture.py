@@ -1,0 +1,94 @@
+"""Regenerate the golden fixture pinning the paper's numbers.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/golden/generate_fixture.py
+
+The fixture captures what ``tests/golden/test_paper_numbers.py``
+asserts: the RTX 3080 roofline constants (elbow 21.76 insts/txn), the
+Table I rows, the 70 %-of-GPU-time dominant-kernel selections, the
+aggregate roofline classes, and the dominant-kernel cluster structure —
+all at the deterministic ``LAPTOP_SCALE`` preset.
+
+Only regenerate after an *intentional* model change, and review the
+resulting diff like science: every changed number is a changed result.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.core import LAPTOP_SCALE, run_suite
+from repro.core.compare import cluster_dominant_kernels
+from repro.core.serialize import table1_row_to_dict
+from repro.gpu.device import RTX_3080
+
+FIXTURE_PATH = Path(__file__).parent / "fixtures" / "paper_numbers.json"
+
+
+def build_fixture() -> dict:
+    cactus = run_suite(["Cactus"], preset=LAPTOP_SCALE)
+    prt = run_suite(["Parboil", "Rodinia", "Tango"], preset=LAPTOP_SCALE)
+
+    labels, owners, assignment, suite_of, _ = cluster_dominant_kernels(
+        cactus, prt
+    )
+    per_cluster = Counter()
+    cactus_per_cluster = Counter()
+    for owner, cluster in zip(owners, assignment):
+        per_cluster[int(cluster)] += 1
+        if suite_of[owner] == "Cactus":
+            cactus_per_cluster[int(cluster)] += 1
+    dominated = sorted(
+        cluster
+        for cluster in per_cluster
+        if cactus_per_cluster[cluster] / per_cluster[cluster] > 0.6
+    )
+
+    return {
+        "preset": LAPTOP_SCALE.name,
+        "device": {
+            "name": RTX_3080.name,
+            "peak_gips": RTX_3080.peak_gips,
+            "peak_gtxn_per_s": RTX_3080.peak_gtxn_per_s,
+            "roofline_elbow": RTX_3080.roofline_elbow,
+        },
+        "table1": {
+            abbr: table1_row_to_dict(cactus[abbr].table1)
+            for abbr in cactus.results
+        },
+        "dominant_kernels": {
+            abbr: [k.name for k in cactus[abbr].profile.dominant_kernels]
+            for abbr in cactus.results
+        },
+        "aggregate_roofline": {
+            abbr: {
+                "intensity": cactus[abbr].aggregate_point.intensity,
+                "gips": cactus[abbr].aggregate_point.gips,
+                "intensity_class": cactus[abbr].aggregate_point.intensity_class,
+            }
+            for abbr in cactus.results
+        },
+        "clustering": {
+            "requested_clusters": 6,
+            "distinct_clusters": len(per_cluster),
+            "total_dominant_kernels": len(labels),
+            "cactus_dominated_clusters": dominated,
+        },
+    }
+
+
+def main() -> None:
+    FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    fixture = build_fixture()
+    FIXTURE_PATH.write_text(
+        json.dumps(fixture, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {FIXTURE_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -70,3 +70,44 @@ class TestSimulator:
 
     def test_empty_stream_runs(self):
         assert GPUSimulator().run(LaunchStream()) == []
+
+
+class TestSimulationOptionsDefaults:
+    def test_timing_default_does_not_alias(self):
+        # Regression: `timing` used a shared default TimingOptions()
+        # instance; with default_factory every options object owns its
+        # own (equal but distinct) TimingOptions.
+        a = SimulationOptions()
+        b = SimulationOptions()
+        assert a.timing == b.timing
+        assert a.timing is not b.timing
+
+    def test_equality_unaffected_by_factory(self):
+        assert SimulationOptions() == SimulationOptions()
+        assert SimulationOptions() != SimulationOptions(model_caches=False)
+
+
+class TestSimulatorPersistentCache:
+    def test_metrics_reused_across_simulator_instances(self, tmp_path):
+        from repro.core.cache import ResultCache
+
+        kernel = make_kernel()
+        first = GPUSimulator(
+            cache=ResultCache(cache_dir=tmp_path)
+        ).run_kernel(kernel)
+
+        warm_cache = ResultCache(cache_dir=tmp_path)
+        second = GPUSimulator(cache=warm_cache).run_kernel(kernel)
+        assert first == second
+        assert warm_cache.stats.disk_hits == 1
+        assert warm_cache.stats.stores == 0
+
+    def test_cached_and_uncached_results_identical(self, tmp_path):
+        from repro.core.cache import ResultCache
+
+        kernel = make_kernel()
+        plain = GPUSimulator().run_kernel(kernel)
+        cached = GPUSimulator(
+            cache=ResultCache(cache_dir=tmp_path)
+        ).run_kernel(kernel)
+        assert plain == cached
