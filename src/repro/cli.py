@@ -20,6 +20,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import math
 import os
 import sys
 from typing import Optional, Sequence
@@ -29,6 +30,8 @@ from repro.core import (
     OBSERVATION_SCALE,
     PAPER_SCALE,
     ResultCache,
+    RetryPolicy,
+    SuiteRunError,
     characterize,
     check_observations,
     run_suite,
@@ -42,11 +45,90 @@ _PRESETS = {
     "paper": PAPER_SCALE,
 }
 
+#: Sanity ceilings for CLI numeric flags — generous enough for any real
+#: machine, tight enough to reject typos ("--jobs 10000000").
+_MAX_JOBS = 1024
+_MAX_RETRIES = 100
+_MAX_TIMEOUT_S = 7 * 24 * 3600.0
+
+
+def _jobs_arg(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer worker count, got {text!r}"
+        ) from None
+    if abs(value) > _MAX_JOBS:
+        raise argparse.ArgumentTypeError(
+            f"worker count out of range (|N| <= {_MAX_JOBS}), got {value}"
+        )
+    return value
+
+
+def _retries_arg(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer retry count, got {text!r}"
+        ) from None
+    if value < 0 or value > _MAX_RETRIES:
+        raise argparse.ArgumentTypeError(
+            f"retry count must be in [0, {_MAX_RETRIES}], got {value}"
+        )
+    return value
+
+
+def _timeout_arg(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number of seconds, got {text!r}"
+        ) from None
+    if not math.isfinite(value):
+        raise argparse.ArgumentTypeError(
+            f"timeout must be finite, got {text!r}"
+        )
+    if value <= 0 or value > _MAX_TIMEOUT_S:
+        raise argparse.ArgumentTypeError(
+            f"timeout must be in (0, {_MAX_TIMEOUT_S:.0f}] seconds, "
+            f"got {value}"
+        )
+    return value
+
+
+def _env_default(name: str, convert):
+    """Validated default from an environment variable (None if unset).
+
+    Environment values pass through the same validators as flags so a
+    bad ``REPRO_*`` value fails at parse time with a clear message
+    instead of deep inside a suite run.
+    """
+    raw = os.environ.get(name)
+    if raw in (None, ""):
+        return None
+    try:
+        return convert(raw)
+    except argparse.ArgumentTypeError as exc:
+        raise SystemExit(f"repro: error: {name}: {exc}")
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Cactus (IISWC 2021) reproduction pipeline",
+        epilog=(
+            "Environment: REPRO_CACHE_DIR, REPRO_JOBS, REPRO_RETRIES, "
+            "REPRO_TIMEOUT and REPRO_JOURNAL_DIR provide defaults for "
+            "the matching flags; an explicit flag always overrides its "
+            "environment variable. Failure semantics: suite commands "
+            "keep going past failed workloads by default (failures are "
+            "listed on stderr, aggregates cover the survivors, exit "
+            "code 0); --strict makes any workload failure abort with a "
+            "non-zero exit code."
+        ),
     )
     parser.add_argument(
         "--preset",
@@ -56,11 +138,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--jobs",
-        type=int,
-        default=None,
+        type=_jobs_arg,
+        default=_env_default("REPRO_JOBS", _jobs_arg),
         metavar="N",
         help="characterize N workloads in parallel for suite-level "
-        "commands (negative: one worker per CPU; default: serial)",
+        "commands (negative: one worker per CPU; default: "
+        "$REPRO_JOBS, else serial)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -74,6 +157,47 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="disable the result cache entirely",
+    )
+    parser.add_argument(
+        "--retries",
+        type=_retries_arg,
+        default=_env_default("REPRO_RETRIES", _retries_arg),
+        metavar="N",
+        help="retry each failed workload up to N times; only "
+        "transient failures (I/O, broken pool, timeout) are "
+        "retried (default: $REPRO_RETRIES, else 2)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=_timeout_arg,
+        default=_env_default("REPRO_TIMEOUT", _timeout_arg),
+        metavar="SECONDS",
+        help="per-workload wall-clock timeout; a worker exceeding it "
+        "is killed and the workload counted failed (requires "
+        "--jobs > 1; default: $REPRO_TIMEOUT, else none)",
+    )
+    fail_mode = parser.add_mutually_exclusive_group()
+    fail_mode.add_argument(
+        "--strict",
+        action="store_true",
+        help="abort (non-zero exit) if any workload fails after "
+        "retries",
+    )
+    fail_mode.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="run every workload even when some fail and report over "
+        "the survivors (the default; listed for symmetry with "
+        "--strict)",
+    )
+    parser.add_argument(
+        "--journal-dir",
+        default=os.environ.get("REPRO_JOURNAL_DIR"),
+        metavar="PATH",
+        help="checkpoint completed workloads under PATH; an "
+        "interrupted run with identical parameters resumes there "
+        "and skips finished workloads (default: $REPRO_JOURNAL_DIR, "
+        "else no journal)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -137,39 +261,67 @@ def _print_cache_stats(cache: Optional[ResultCache]) -> None:
         print(f"[cache] {cache.stats.render()}", file=sys.stderr)
 
 
-def _cmd_table1(preset, jobs, cache) -> int:
+def _print_failures(*reports) -> int:
+    """List workload failures on stderr; return how many there were."""
+    count = 0
+    for report in reports:
+        if report is None:
+            continue
+        reason = getattr(report, "fallback_reason", None)
+        if reason:
+            print(f"[engine] degraded to serial: {reason}", file=sys.stderr)
+        resumed = getattr(report, "resumed", None)
+        if resumed:
+            print(
+                f"[journal] resumed, skipping {len(resumed)} completed "
+                f"workload(s): {', '.join(resumed)}",
+                file=sys.stderr,
+            )
+        for failure in getattr(report, "failures", []) or []:
+            print(f"[failed] {failure.render()}", file=sys.stderr)
+            count += 1
+    return count
+
+
+def _cmd_table1(run_kwargs) -> int:
     from repro.analysis.tables import render_table1
 
-    result = run_suite(["Cactus"], preset=preset, jobs=jobs, cache=cache)
+    result = run_suite(["Cactus"], **run_kwargs)
     rows = [c.table1 for c in result.suite("Cactus")]
     print(render_table1(rows))
-    _print_cache_stats(cache)
+    _print_failures(result)
+    _print_cache_stats(run_kwargs["cache"])
     return 0
 
 
-def _cmd_observations(preset, jobs, cache) -> int:
-    cactus = run_suite(["Cactus"], preset=preset, jobs=jobs, cache=cache)
-    prt = run_suite(
-        ["Parboil", "Rodinia", "Tango"], preset=preset, jobs=jobs, cache=cache
-    )
-    report = check_observations(cactus, prt)
+def _cmd_observations(run_kwargs) -> int:
+    cactus = run_suite(["Cactus"], **run_kwargs)
+    prt = run_suite(["Parboil", "Rodinia", "Tango"], **run_kwargs)
+    failed = _print_failures(cactus, prt)
+    try:
+        report = check_observations(cactus, prt)
+    except (KeyError, ValueError) as exc:
+        print(
+            f"observations skipped: requires the full workload set "
+            f"({type(exc).__name__}: {exc})",
+            file=sys.stderr,
+        )
+        _print_cache_stats(run_kwargs["cache"])
+        return 1 if failed else 0
     print(report.render())
-    _print_cache_stats(cache)
+    _print_cache_stats(run_kwargs["cache"])
     return 0 if report.passed >= 11 else 1
 
 
-def _cmd_report(preset, output: Optional[str], with_prt: bool, jobs, cache) -> int:
-    cactus = run_suite(["Cactus"], preset=preset, jobs=jobs, cache=cache)
+def _cmd_report(output: Optional[str], with_prt: bool, run_kwargs) -> int:
+    cactus = run_suite(["Cactus"], **run_kwargs)
     prt = (
-        run_suite(
-            ["Parboil", "Rodinia", "Tango"],
-            preset=preset,
-            jobs=jobs,
-            cache=cache,
-        )
+        run_suite(["Parboil", "Rodinia", "Tango"], **run_kwargs)
         if with_prt
         else None
     )
+    _print_failures(cactus, prt)
+    cache = run_kwargs["cache"]
     text = generate_report(
         cactus, prt, cache_stats=cache.stats if cache else None
     )
@@ -198,21 +350,46 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.cache_dir is not None and os.path.exists(args.cache_dir) \
             and not os.path.isdir(args.cache_dir):
         parser.error(f"--cache-dir: not a directory: {args.cache_dir}")
+    if args.timeout is not None and (args.jobs is None or args.jobs in (0, 1)):
+        print(
+            "repro: warning: --timeout has no effect on the serial path "
+            "(pass --jobs > 1)",
+            file=sys.stderr,
+        )
     cache = (
         None
         if args.no_cache
         else ResultCache(cache_dir=args.cache_dir)
     )
+    retries = 2 if args.retries is None else args.retries
+    run_kwargs = {
+        "preset": preset,
+        "jobs": args.jobs,
+        "cache": cache,
+        "retry_policy": RetryPolicy(
+            max_attempts=retries + 1, timeout_s=args.timeout
+        ),
+        "keep_going": not args.strict,
+        "journal_dir": args.journal_dir,
+    }
     if args.command == "list":
         return _cmd_list()
     if args.command == "characterize":
         return _cmd_characterize(args.abbr, args.scale)
-    if args.command == "table1":
-        return _cmd_table1(preset, args.jobs, cache)
-    if args.command == "observations":
-        return _cmd_observations(preset, args.jobs, cache)
-    if args.command == "report":
-        return _cmd_report(preset, args.output, args.with_prt, args.jobs, cache)
+    try:
+        if args.command == "table1":
+            return _cmd_table1(run_kwargs)
+        if args.command == "observations":
+            return _cmd_observations(run_kwargs)
+        if args.command == "report":
+            return _cmd_report(args.output, args.with_prt, run_kwargs)
+    except SuiteRunError as exc:
+        # --strict: a workload failed terminally.  The partial report
+        # (with every completed characterization) rode along on the
+        # exception; list the failures and exit non-zero.
+        _print_failures(exc.report)
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
     if args.command == "trace":
         return _cmd_trace(args.abbr, args.path, args.scale)
     raise AssertionError(f"unhandled command {args.command!r}")

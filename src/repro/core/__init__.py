@@ -19,15 +19,27 @@ from repro.core.config import (
     ScalePreset,
 )
 from repro.core.engine import CharacterizationEngine
-from repro.core.suite import SuiteResult, run_suite
+from repro.core.journal import RunJournal
+from repro.core.resilience import (
+    RetryPolicy,
+    SuiteRunError,
+    WorkloadFailure,
+    classify_exception,
+)
+from repro.core.suite import SuiteResult, SuiteRunReport, run_suite
 
 __all__ = [
     "CacheStats",
     "Characterization",
     "CharacterizationEngine",
     "ResultCache",
+    "RetryPolicy",
+    "RunJournal",
+    "SuiteRunError",
+    "WorkloadFailure",
     "build_characterization",
     "characterize",
+    "classify_exception",
     "ObservationReport",
     "check_observations",
     "diff_characterizations",
@@ -37,5 +49,6 @@ __all__ = [
     "PAPER_SCALE",
     "ScalePreset",
     "SuiteResult",
+    "SuiteRunReport",
     "run_suite",
 ]

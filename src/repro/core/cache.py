@@ -21,6 +21,13 @@ Invalidation is by versioning, not deletion: the schema version is part
 of both the key material and the directory path, so bumping
 :data:`~repro.gpu.digest.CACHE_SCHEMA_VERSION` orphans every stale
 entry at once (``prune`` removes orphaned version trees).
+
+Corruption handling: an entry that exists but cannot be parsed
+(truncated write from a killed process, at-rest bit rot) is counted in
+``stats.corrupt``, *quarantined* into ``<cache_dir>/corrupt/`` for
+post-mortem inspection, and reported as a miss — so the caller
+recomputes and cleanly rewrites the entry instead of tripping over the
+same broken file forever.
 """
 
 from __future__ import annotations
@@ -51,6 +58,7 @@ class CacheStats:
     disk_hits: int = 0
     misses: int = 0
     stores: int = 0
+    corrupt: int = 0
 
     @property
     def hits(self) -> int:
@@ -69,6 +77,7 @@ class CacheStats:
         self.disk_hits += other.disk_hits
         self.misses += other.misses
         self.stores += other.stores
+        self.corrupt += other.corrupt
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -76,14 +85,18 @@ class CacheStats:
             "disk_hits": self.disk_hits,
             "misses": self.misses,
             "stores": self.stores,
+            "corrupt": self.corrupt,
         }
 
     def render(self) -> str:
-        return (
+        text = (
             f"{self.hits}/{self.lookups} hits "
             f"({self.memory_hits} memory, {self.disk_hits} disk), "
             f"{self.stores} stores, hit rate {self.hit_rate:.0%}"
         )
+        if self.corrupt:
+            text += f", {self.corrupt} corrupt entr{'y' if self.corrupt == 1 else 'ies'} quarantined"
+        return text
 
 
 @dataclass
@@ -131,14 +144,40 @@ class ResultCache:
             try:
                 with open(path, "r", encoding="utf-8") as handle:
                     payload = json.load(handle)
-            except (OSError, ValueError):
-                payload = None  # missing or corrupt → plain miss
+            except FileNotFoundError:
+                payload = None  # plain miss
+            except OSError:
+                payload = None  # unreadable (permissions, I/O) → miss
+            except ValueError:
+                # The file exists but does not parse (truncation, bit
+                # rot): quarantine it so the recompute can cleanly
+                # rewrite the entry.
+                self._quarantine(path)
+                payload = None
+            if payload is not None and not isinstance(payload, dict):
+                self._quarantine(path)  # parsed, but not an entry
+                payload = None
             if payload is not None:
                 self.stats.disk_hits += 1
                 self._remember(key, payload)
                 return payload
         self.stats.misses += 1
         return None
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside into ``<cache_dir>/corrupt/``."""
+        self.stats.corrupt += 1
+        quarantine_dir = self.cache_dir / "corrupt"
+        try:
+            quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, quarantine_dir / path.name)
+        except OSError:
+            # Quarantine is best-effort; at minimum drop the broken
+            # file so the next put() can rewrite it.
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
         """Store *payload* under *key* in both tiers."""

@@ -111,7 +111,10 @@ def characterize(
     )
     payload = cache.get(key)
     if payload is not None:
-        return characterization_from_dict(payload)
+        try:
+            return characterization_from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            pass  # schema-corrupt entry → recompute and rewrite below
     profile = profiler.profile_launches(
         stream,
         workload=workload.name,

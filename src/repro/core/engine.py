@@ -1,15 +1,13 @@
-"""Parallel, cache-backed suite-characterization engine.
+"""Parallel, cache-backed, fault-tolerant suite-characterization engine.
 
 :class:`CharacterizationEngine` is the production path for running the
-paper's full top-down pipeline over whole suites.  It improves on the
-naive serial loop in two orthogonal ways:
+paper's full top-down pipeline over whole suites.  It layers three
+orthogonal capabilities over the naive serial loop:
 
 * **Parallelism** — per-workload characterizations are independent, so
   the engine fans them out across a ``concurrent.futures`` process
   pool (``jobs`` workers).  Results are reassembled in registration
-  order, so a parallel run is indistinguishable from a serial one; if a
-  pool cannot be created (restricted sandboxes, missing ``os.fork``)
-  the engine silently falls back to the serial path.
+  order, so a parallel run is indistinguishable from a serial one.
 * **Result reuse** — an optional :class:`~repro.core.cache.ResultCache`
   memoizes both per-kernel :class:`~repro.gpu.metrics.KernelMetrics`
   (inside the simulator) and whole
@@ -17,27 +15,61 @@ naive serial loop in two orthogonal ways:
   content digests of ``(DeviceSpec, SimulationOptions, launch
   stream)``.  A warm run replays the suite from disk without touching
   the timing model.
+* **Fault tolerance** — every worker exception is captured into a
+  structured :class:`~repro.core.resilience.WorkloadFailure` instead of
+  aborting the suite; a :class:`~repro.core.resilience.RetryPolicy`
+  retries transient failures with deterministic backoff and enforces a
+  per-workload wall-clock timeout (a hung worker is killed and the pool
+  rebuilt); a broken pool rebuilds once and then degrades to the serial
+  path with a recorded ``fallback_reason``; and an optional
+  :class:`~repro.core.journal.RunJournal` checkpoints each completed
+  workload so an interrupted run resumes where it left off — even with
+  the cache disabled.
 
-Correctness of this combination is enforced by the differential test
-harness (``tests/engine/test_differential.py``): serial, parallel,
-cold-cache and warm-cache runs must produce *equal* results, and the
-golden suite (``tests/golden``) pins the science against drift.
+Failure disposition is the caller's choice: with ``keep_going=True``
+the run returns a :class:`~repro.core.suite.SuiteRunReport` carrying
+both survivors and failures; otherwise a terminal failure raises
+:class:`~repro.core.resilience.SuiteRunError` (which still carries the
+partial report — completed work is journaled, never discarded).
+
+Correctness of the whole stack is enforced by the differential harness
+(``tests/engine/test_differential.py``: serial == parallel == cold ==
+warm, bit-for-bit), the golden suite (``tests/golden``), and the
+fault-injection suite (``tests/robustness``) driven by
+:class:`~repro.testing.faults.FaultPlan`.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+import warnings
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cache import CacheStats, ResultCache
 from repro.core.characterize import Characterization, characterize
 from repro.core.config import LAPTOP_SCALE, ScalePreset
+from repro.core.journal import RunJournal
+from repro.core.resilience import (
+    RetryPolicy,
+    SuiteRunError,
+    WorkloadFailure,
+)
 from repro.gpu.device import RTX_3080, DeviceSpec
+from repro.gpu.digest import CACHE_SCHEMA_VERSION, stable_digest
 from repro.gpu.simulator import GPUSimulator, SimulationOptions
 from repro.profiler.profiler import Profiler
 from repro.workloads.registry import get_workload, list_workloads
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.testing.faults import FaultPlan
+
+#: Environments where a process pool cannot even be created
+#: (restricted sandboxes, missing ``os.fork`` / semaphores).
+_POOL_UNAVAILABLE = (OSError, PermissionError, NotImplementedError)
 
 
 def _resolve_jobs(jobs: Optional[int]) -> int:
@@ -56,14 +88,20 @@ def _characterize_one(
     device: DeviceSpec,
     options: SimulationOptions,
     cache_dir: Optional[str],
+    attempt: int = 1,
+    fault_plan: Optional["FaultPlan"] = None,
 ) -> Tuple[str, Characterization, CacheStats]:
     """Worker body: characterize one workload from its identity.
 
     Module-level (picklable) so it can run inside a process pool; each
     worker opens its own handle on the shared cache directory — entry
-    writes are atomic, so concurrent workers can share it safely.
+    writes are atomic, so concurrent workers can share it safely.  The
+    optional *fault_plan* hooks are strict no-ops when the plan is
+    empty (the fault-free differential test pins this).
     """
     cache = ResultCache(cache_dir=cache_dir) if cache_dir else None
+    if fault_plan is not None:
+        fault_plan.before(abbr, attempt)
     profiler = Profiler(
         simulator=GPUSimulator(device, options=options, cache=cache)
     )
@@ -71,8 +109,24 @@ def _characterize_one(
     result = characterize(
         workload, device=device, profiler=profiler, cache=cache
     )
+    if fault_plan is not None:
+        result = fault_plan.after(abbr, attempt, result, cache)
     stats = cache.stats if cache is not None else CacheStats()
     return abbr, result, stats
+
+
+@dataclass
+class _ExecutionOutcome:
+    """Mutable scratchpad for one execution strategy's results."""
+
+    results: Dict[str, Characterization] = field(default_factory=dict)
+    failures: List[WorkloadFailure] = field(default_factory=list)
+    attempts: Dict[str, int] = field(default_factory=dict)
+    fallback_reason: Optional[str] = None
+
+    @property
+    def resolved(self) -> set:
+        return set(self.results) | {f.abbr for f in self.failures}
 
 
 @dataclass
@@ -90,12 +144,31 @@ class CharacterizationEngine:
     cache:
         Optional result cache.  Pass ``ResultCache()`` for an in-memory
         LRU or ``ResultCache(cache_dir=...)`` for cross-run persistence.
+    retry_policy:
+        Retry/timeout/backoff policy for suite runs (see
+        :class:`~repro.core.resilience.RetryPolicy`).
+    keep_going:
+        ``True`` → failed workloads are collected into the run report
+        and the suite completes over the survivors.  ``False``
+        (default) → any terminal failure raises
+        :class:`~repro.core.resilience.SuiteRunError` carrying the
+        partial report.
+    journal_dir:
+        Optional checkpoint directory; an interrupted run with the
+        same identity resumes there and skips completed workloads.
+    fault_plan:
+        Deterministic fault-injection plan (testing only); ``None`` and
+        an empty plan are strict no-ops.
     """
 
     device: DeviceSpec = RTX_3080
     options: SimulationOptions = field(default_factory=SimulationOptions)
     jobs: Optional[int] = None
     cache: Optional[ResultCache] = None
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    keep_going: bool = False
+    journal_dir: Optional[str] = None
+    fault_plan: Optional["FaultPlan"] = None
 
     # -- single workload ----------------------------------------------
     def characterize(self, workload) -> Characterization:
@@ -126,86 +199,381 @@ class CharacterizationEngine:
             raise ValueError(f"no workloads selected from suites {suites!r}")
         return selected
 
+    def run_key(self, preset: ScalePreset, selected: Sequence[str]) -> str:
+        """Content digest identifying one run for journal resumption."""
+        return stable_digest(
+            [
+                "suite-run",
+                CACHE_SCHEMA_VERSION,
+                self.device,
+                self.options,
+                preset,
+                list(selected),
+            ]
+        )
+
     def run_suite(
         self,
         suites: Sequence[str] = ("Cactus",),
         preset: ScalePreset = LAPTOP_SCALE,
         workloads: Optional[Sequence[str]] = None,
     ):
-        """Characterize every workload of *suites* into a SuiteResult.
+        """Characterize every workload of *suites* into a SuiteRunReport.
 
         Results are keyed and ordered deterministically by the suite
-        registration order regardless of worker completion order.
+        registration order regardless of worker completion order;
+        failed workloads are simply absent from ``results`` and listed
+        (also in registration order) in ``failures``.
         """
-        from repro.core.suite import SuiteResult
+        from repro.core.suite import SuiteRunReport
 
         selected = self.select(suites, workloads)
         jobs = _resolve_jobs(self.jobs)
-        result = SuiteResult(device=self.device, preset=preset)
+        report = SuiteRunReport(device=self.device, preset=preset)
 
-        characterized: Dict[str, Characterization] = {}
-        if jobs > 1:
-            characterized = self._run_parallel(selected, preset, jobs)
-        if not characterized:  # serial path or parallel fallback
-            characterized = self._run_serial(selected, preset)
+        journal: Optional[RunJournal] = None
+        completed: Dict[str, Characterization] = {}
+        if self.journal_dir is not None:
+            journal = RunJournal(
+                self.journal_dir, self.run_key(preset, selected)
+            )
+            completed = journal.begin(selected)
+            report.resumed = [a for a in selected if a in completed]
+
+        remaining = [a for a in selected if a not in completed]
+        outcome = _ExecutionOutcome(results=dict(completed))
+        if remaining:
+            if jobs > 1:
+                self._run_parallel(remaining, preset, jobs, journal, outcome)
+                remaining = [
+                    a for a in remaining if a not in outcome.resolved
+                ]
+            if remaining:  # serial path, or parallel degraded mid-run
+                self._run_serial(remaining, preset, journal, outcome)
+
         for abbr in selected:
-            result.results[abbr] = characterized[abbr]
-        return result
+            if abbr in outcome.results:
+                report.results[abbr] = outcome.results[abbr]
+        order = {abbr: idx for idx, abbr in enumerate(selected)}
+        report.failures = sorted(
+            outcome.failures, key=lambda f: order.get(f.abbr, len(order))
+        )
+        report.attempts = dict(outcome.attempts)
+        report.fallback_reason = outcome.fallback_reason
+        if journal is not None:
+            journal.finish(ok=not report.failures)
+        if report.failures and not self.keep_going:
+            raise SuiteRunError(report, report.failures)
+        return report
 
     # -- execution strategies ------------------------------------------
+    def _record_success(
+        self,
+        outcome: _ExecutionOutcome,
+        journal: Optional[RunJournal],
+        abbr: str,
+        result: Characterization,
+        stats: Optional[CacheStats],
+        attempts: int,
+    ) -> None:
+        outcome.results[abbr] = result
+        outcome.attempts[abbr] = attempts
+        if stats is not None and self.cache is not None:
+            self.cache.stats.merge(stats)
+        if journal is not None:
+            journal.mark_done(abbr, result, attempts=attempts)
+
     def _run_serial(
-        self, selected: Sequence[str], preset: ScalePreset
-    ) -> Dict[str, Characterization]:
+        self,
+        selected: Sequence[str],
+        preset: ScalePreset,
+        journal: Optional[RunJournal],
+        outcome: _ExecutionOutcome,
+    ) -> None:
+        """In-process loop with retry + failure isolation.
+
+        Shares one profiler (and its kernel memo) across workloads.
+        Per-workload timeouts cannot be enforced here — a running
+        characterization cannot be preempted in-process — so
+        ``retry_policy.timeout_s`` only applies on the pool path.
+        """
+        policy = self.retry_policy
         profiler = Profiler(
             simulator=GPUSimulator(
                 self.device, options=self.options, cache=self.cache
             )
         )
-        out: Dict[str, Characterization] = {}
         for abbr in selected:
-            workload = get_workload(
-                abbr, scale=preset.for_workload(abbr), seed=preset.seed
-            )
-            out[abbr] = characterize(
-                workload,
-                device=self.device,
-                profiler=profiler,
-                cache=self.cache,
-            )
-        return out
+            attempt = 0
+            started = time.monotonic()
+            while True:
+                attempt += 1
+                try:
+                    if self.fault_plan is not None:
+                        self.fault_plan.before(abbr, attempt)
+                    workload = get_workload(
+                        abbr,
+                        scale=preset.for_workload(abbr),
+                        seed=preset.seed,
+                    )
+                    result = characterize(
+                        workload,
+                        device=self.device,
+                        profiler=profiler,
+                        cache=self.cache,
+                    )
+                    if self.fault_plan is not None:
+                        result = self.fault_plan.after(
+                            abbr, attempt, result, self.cache
+                        )
+                except Exception as exc:
+                    if policy.should_retry(exc, attempt):
+                        time.sleep(policy.backoff_s(abbr, attempt))
+                        continue
+                    outcome.failures.append(
+                        WorkloadFailure.from_exception(
+                            abbr,
+                            exc,
+                            phase="characterize",
+                            attempts=attempt,
+                            elapsed_s=time.monotonic() - started,
+                        )
+                    )
+                    outcome.attempts[abbr] = attempt
+                    break
+                else:
+                    self._record_success(
+                        outcome, journal, abbr, result, None, attempt
+                    )
+                    break
+
+    def _cache_dir_arg(self) -> Optional[str]:
+        if self.cache is not None and self.cache.cache_dir is not None:
+            return str(self.cache.cache_dir)
+        return None
+
+    def _new_pool(self, jobs: int, tasks: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=min(jobs, tasks))
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Forcefully tear down a pool (hung or broken workers)."""
+        processes = getattr(pool, "_processes", None) or {}
+        for proc in list(processes.values()):
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
 
     def _run_parallel(
-        self, selected: Sequence[str], preset: ScalePreset, jobs: int
-    ) -> Dict[str, Characterization]:
-        """Fan out across a process pool; {} signals fallback to serial."""
-        cache_dir = (
-            str(self.cache.cache_dir)
-            if self.cache is not None and self.cache.cache_dir is not None
-            else None
-        )
-        out: Dict[str, Characterization] = {}
+        self,
+        selected: Sequence[str],
+        preset: ScalePreset,
+        jobs: int,
+        journal: Optional[RunJournal],
+        outcome: _ExecutionOutcome,
+    ) -> None:
+        """Fan out across a process pool with retry/timeout/rebuild.
+
+        Work proceeds in waves: every unresolved workload is submitted,
+        then awaited in registration order under the per-workload
+        timeout.  A timed-out worker is killed (the pool is rebuilt —
+        a deliberate kill, not counted against the broken-pool budget);
+        a spontaneously broken pool rebuilds once and then the engine
+        degrades to the serial path for whatever is left, recording
+        ``fallback_reason``.  Attempt counts advance only for the
+        workload whose own outcome was observed — innocent bystanders
+        of a pool kill are resubmitted under the same attempt number.
+        """
+        policy = self.retry_policy
+        cache_dir = self._cache_dir_arg()
         try:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(selected))) as pool:
-                futures = [
-                    pool.submit(
-                        _characterize_one,
-                        abbr,
-                        preset.for_workload(abbr),
-                        preset.seed,
-                        self.device,
-                        self.options,
-                        cache_dir,
-                    )
-                    for abbr in selected
-                ]
-                for future in futures:
-                    abbr, characterization, stats = future.result()
-                    out[abbr] = characterization
-                    if self.cache is not None:
-                        self.cache.stats.merge(stats)
-        except (OSError, PermissionError, NotImplementedError):
-            return {}  # pool unavailable → caller falls back to serial
-        return out
+            pool = self._new_pool(jobs, len(selected))
+        except _POOL_UNAVAILABLE as exc:
+            outcome.fallback_reason = (
+                f"process pool unavailable: {type(exc).__name__}: {exc}"
+            )
+            warnings.warn(
+                f"{outcome.fallback_reason}; falling back to serial "
+                f"execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return
+
+        attempts: Dict[str, int] = {abbr: 0 for abbr in selected}
+        started: Dict[str, float] = {}
+        pending = [a for a in selected if a not in outcome.resolved]
+        rebuilds_left = 1
+
+        def elapsed(abbr: str) -> float:
+            return time.monotonic() - started.get(abbr, time.monotonic())
+
+        def submit(abbr: str):
+            if attempts[abbr] and policy.backoff_base_s:
+                time.sleep(policy.backoff_s(abbr, attempts[abbr]))
+            started.setdefault(abbr, time.monotonic())
+            return pool.submit(
+                _characterize_one,
+                abbr,
+                preset.for_workload(abbr),
+                preset.seed,
+                self.device,
+                self.options,
+                cache_dir,
+                attempts[abbr] + 1,
+                self.fault_plan,
+            )
+
+        def harvest(futures: Dict[str, Future], skip: str) -> None:
+            """Bank finished bystander results after a pool disruption."""
+            for other, fut in futures.items():
+                if other == skip or other not in pending or not fut.done():
+                    continue
+                try:
+                    _, result, stats = fut.result(timeout=0)
+                except Exception:
+                    continue  # its failure will be re-observed on resubmit
+                self._record_success(
+                    outcome, journal, other, result, stats,
+                    attempts[other] + 1,
+                )
+                pending.remove(other)
+
+        def rebuild(reason: str) -> bool:
+            """Replace the pool; False → caller must degrade to serial."""
+            nonlocal pool
+            self._kill_pool(pool)
+            try:
+                pool = self._new_pool(jobs, max(len(pending), 1))
+            except _POOL_UNAVAILABLE as exc:
+                outcome.fallback_reason = (
+                    f"pool rebuild failed after {reason}: "
+                    f"{type(exc).__name__}: {exc}"
+                )
+                warnings.warn(
+                    f"{outcome.fallback_reason}; degrading to serial "
+                    f"execution",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                return False
+            return True
+
+        def settle(abbr: str, exc: BaseException, phase: str) -> None:
+            """A genuine attempt by *abbr* failed: retry or record."""
+            attempts[abbr] += 1
+            if policy.should_retry(exc, attempts[abbr]):
+                return  # stays pending; resubmitted next wave
+            outcome.failures.append(
+                WorkloadFailure.from_exception(
+                    abbr,
+                    exc,
+                    phase=phase,
+                    attempts=attempts[abbr],
+                    elapsed_s=elapsed(abbr),
+                )
+            )
+            outcome.attempts[abbr] = attempts[abbr]
+            pending.remove(abbr)
+
+        try:
+            while pending:
+                futures: Dict[str, Future] = {}
+                disrupted = False
+                try:
+                    for abbr in pending:
+                        futures[abbr] = submit(abbr)
+                except (RuntimeError, OSError) as exc:
+                    # Covers BrokenExecutor and every _POOL_UNAVAILABLE
+                    # member (both are RuntimeError/OSError subclasses).
+                    # Pool died before the wave was even fully submitted.
+                    if rebuilds_left > 0:
+                        rebuilds_left -= 1
+                        if rebuild(f"submit-time {type(exc).__name__}"):
+                            continue
+                    else:
+                        outcome.fallback_reason = (
+                            f"process pool broke twice: "
+                            f"{type(exc).__name__}: {exc}"
+                        )
+                        warnings.warn(
+                            f"{outcome.fallback_reason}; degrading to "
+                            f"serial execution",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                        self._kill_pool(pool)
+                    return
+                for abbr in list(futures):
+                    if abbr not in pending:
+                        continue
+                    fut = futures[abbr]
+                    try:
+                        _, result, stats = fut.result(
+                            timeout=policy.timeout_s
+                        )
+                    except FuturesTimeout:
+                        # Hung worker: kill the pool, bank bystanders,
+                        # rebuild (deliberate — not budget-counted).
+                        timeout_exc = TimeoutError(
+                            f"workload {abbr} exceeded the per-workload "
+                            f"timeout of {policy.timeout_s}s"
+                        )
+                        harvest(futures, skip=abbr)
+                        settle(abbr, timeout_exc, phase="timeout")
+                        disrupted = True
+                        if not rebuild("timeout kill"):
+                            return
+                        break
+                    except BrokenExecutor as exc:
+                        # A worker died hard.  Every outstanding future
+                        # raises the same BrokenProcessPool, so the
+                        # culprit cannot be attributed from here — no
+                        # workload is charged an attempt.  Bank finished
+                        # bystanders, then rebuild once; on a second
+                        # break, degrade to the serial path, which
+                        # isolates the real culprit exactly.
+                        harvest(futures, skip="")
+                        disrupted = True
+                        if rebuilds_left > 0:
+                            rebuilds_left -= 1
+                            if rebuild(type(exc).__name__):
+                                break
+                        outcome.fallback_reason = (
+                            f"process pool broke twice: "
+                            f"{type(exc).__name__}: {exc}"
+                        )
+                        warnings.warn(
+                            f"{outcome.fallback_reason}; degrading to "
+                            f"serial execution",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                        self._kill_pool(pool)
+                        return
+                    except Exception as exc:
+                        # Raised inside the worker and pickled back:
+                        # the pool itself is healthy.
+                        settle(abbr, exc, phase="characterize")
+                    else:
+                        attempts[abbr] += 1
+                        self._record_success(
+                            outcome, journal, abbr, result, stats,
+                            attempts[abbr],
+                        )
+                        pending.remove(abbr)
+                if disrupted:
+                    continue
+        finally:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
 
     # -- reporting ------------------------------------------------------
     @property

@@ -1,0 +1,165 @@
+"""Resumable run checkpoints: a per-run journal of completed workloads.
+
+A suite run interrupted after N workloads (crash, SIGTERM, power loss)
+should restart and re-run only the remaining ones — *even with the
+result cache disabled*.  The journal makes that possible by recording
+each completed characterization as it lands:
+
+``<journal_dir>/run.json``
+    Run metadata: journal schema version, the run key (a content
+    digest of device + simulation options + preset + workload
+    selection), and the selected workload list.  A journal whose run
+    key does not match the current run is stale and is wiped before
+    the run starts — resuming is only ever offered for *identical*
+    runs.
+``<journal_dir>/done/<ABBR>.json``
+    One completion marker per finished workload, holding the full
+    serialized :class:`~repro.core.characterize.Characterization`
+    (lossless — see :mod:`repro.core.serialize`) plus the run key and
+    attempt count.
+
+All writes are atomic (temp file + ``os.replace``, like
+:mod:`repro.core.cache`), so a marker is either complete or absent;
+a corrupt or foreign marker is treated as "not done" and the workload
+simply re-runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional
+
+from repro.core.characterize import Characterization
+from repro.core.serialize import (
+    characterization_from_dict,
+    characterization_to_dict,
+)
+
+JOURNAL_SCHEMA_VERSION = 1
+
+
+def _atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
+    """Publish *payload* at *path* atomically (temp file + replace)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, separators=(",", ":"))
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class RunJournal:
+    """Checkpoint store for one suite run identity."""
+
+    def __init__(self, journal_dir, run_key: str) -> None:
+        self.journal_dir = Path(journal_dir)
+        self.run_key = run_key
+
+    # -- paths ---------------------------------------------------------
+    @property
+    def run_path(self) -> Path:
+        return self.journal_dir / "run.json"
+
+    @property
+    def done_dir(self) -> Path:
+        return self.journal_dir / "done"
+
+    def marker_path(self, abbr: str) -> Path:
+        return self.done_dir / f"{abbr.upper()}.json"
+
+    # -- lifecycle -----------------------------------------------------
+    def _read_meta(self) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self.run_path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return meta if isinstance(meta, dict) else None
+
+    def begin(self, selected: Iterable[str]) -> Dict[str, Characterization]:
+        """Start (or resume) a run; return already-completed results.
+
+        If an existing journal matches this run key, the completed
+        characterizations are loaded and returned so the engine can
+        skip them.  Otherwise any stale journal is wiped and a fresh
+        ``run.json`` is written.
+        """
+        selected = [abbr.upper() for abbr in selected]
+        meta = self._read_meta()
+        if (
+            meta is not None
+            and meta.get("schema") == JOURNAL_SCHEMA_VERSION
+            and meta.get("run_key") == self.run_key
+        ):
+            return self._load_completed(selected)
+        # Stale or absent journal: start fresh.
+        if self.done_dir.is_dir():
+            shutil.rmtree(self.done_dir, ignore_errors=True)
+        _atomic_write_json(
+            self.run_path,
+            {
+                "schema": JOURNAL_SCHEMA_VERSION,
+                "run_key": self.run_key,
+                "selected": selected,
+                "status": "running",
+            },
+        )
+        return {}
+
+    def _load_completed(
+        self, selected: Iterable[str]
+    ) -> Dict[str, Characterization]:
+        completed: Dict[str, Characterization] = {}
+        for abbr in selected:
+            path = self.marker_path(abbr)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    marker = json.load(handle)
+                if marker.get("run_key") != self.run_key:
+                    continue  # marker from a different run identity
+                completed[abbr] = characterization_from_dict(
+                    marker["characterization"]
+                )
+            except (OSError, ValueError, KeyError, TypeError):
+                continue  # absent or corrupt marker → just re-run it
+        return completed
+
+    def mark_done(
+        self, abbr: str, result: Characterization, attempts: int = 1
+    ) -> None:
+        """Atomically record *abbr* as completed with its full result."""
+        _atomic_write_json(
+            self.marker_path(abbr),
+            {
+                "schema": JOURNAL_SCHEMA_VERSION,
+                "run_key": self.run_key,
+                "abbr": abbr.upper(),
+                "attempts": attempts,
+                "characterization": characterization_to_dict(result),
+            },
+        )
+
+    def completed_workloads(self) -> list:
+        """Abbreviations with a completion marker on disk (sorted)."""
+        if not self.done_dir.is_dir():
+            return []
+        return sorted(p.stem for p in self.done_dir.glob("*.json"))
+
+    def finish(self, ok: bool = True) -> None:
+        """Mark the run's terminal status in ``run.json``."""
+        meta = self._read_meta() or {
+            "schema": JOURNAL_SCHEMA_VERSION,
+            "run_key": self.run_key,
+        }
+        meta["status"] = "complete" if ok else "failed"
+        _atomic_write_json(self.run_path, meta)

@@ -82,6 +82,32 @@ def generate_report(
         f"{cactus.preset.name}.\n"
     )
 
+    failures = list(getattr(cactus, "failures", []) or [])
+    if prt is not None:
+        failures += list(getattr(prt, "failures", []) or [])
+    if failures:
+        lines = [
+            "The following workloads failed and are excluded from every "
+            "aggregate below (suite statistics are computed over the "
+            "survivors):",
+            "",
+            "| workload | phase | error | attempts | elapsed |",
+            "|---|---|---|---:|---:|",
+        ]
+        for failure in failures:
+            message = failure.message.replace("|", "\\|").replace("\n", " ")
+            lines.append(
+                f"| {failure.abbr} | {failure.phase} "
+                f"| `{failure.error_type}: {message}` "
+                f"| {failure.attempts} | {failure.elapsed_s:.1f}s |"
+            )
+        for run in (cactus, prt):
+            reason = getattr(run, "fallback_reason", None) if run else None
+            if reason:
+                lines += ["", f"Engine degraded to serial execution: {reason}"]
+                break
+        parts.append(_section("Failed workloads", "\n".join(lines)))
+
     parts.append(_section("Table I — suite statistics",
                           _table1(cactus, "Cactus")))
     parts.append(
@@ -123,17 +149,38 @@ def generate_report(
         )
         from repro.analysis.clustering import render_dendrogram
 
-        *_rest, tree = cluster_dominant_kernels(cactus, prt)
-        parts.append(
-            _section(
-                "Clustering (Fig. 9)",
-                _code(render_dendrogram(tree, n_clusters=6, max_members=6)),
+        # Clustering and the observation scoreboard index specific
+        # workloads; with a partial run they degrade to an explicit
+        # "skipped" note instead of aborting the whole report.
+        try:
+            *_rest, tree = cluster_dominant_kernels(cactus, prt)
+            parts.append(
+                _section(
+                    "Clustering (Fig. 9)",
+                    _code(render_dendrogram(tree, n_clusters=6, max_members=6)),
+                )
             )
-        )
-        report = check_observations(cactus, prt)
-        parts.append(
-            _section("Observations 1-12", _code(report.render()))
-        )
+        except (KeyError, ValueError) as exc:
+            parts.append(
+                _section(
+                    "Clustering (Fig. 9)",
+                    f"Skipped: requires the full workload set "
+                    f"({type(exc).__name__}: {exc}).",
+                )
+            )
+        try:
+            report = check_observations(cactus, prt)
+            parts.append(
+                _section("Observations 1-12", _code(report.render()))
+            )
+        except (KeyError, ValueError) as exc:
+            parts.append(
+                _section(
+                    "Observations 1-12",
+                    f"Skipped: requires the full workload set "
+                    f"({type(exc).__name__}: {exc}).",
+                )
+            )
 
     if cache_stats is not None:
         parts.append(

@@ -7,11 +7,13 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.core.characterize import Characterization
 from repro.core.config import LAPTOP_SCALE, ScalePreset
+from repro.core.resilience import RetryPolicy, WorkloadFailure
 from repro.gpu.device import RTX_3080, DeviceSpec
 from repro.workloads.registry import list_workloads
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.cache import ResultCache
+    from repro.testing.faults import FaultPlan
 
 
 @dataclass
@@ -46,6 +48,45 @@ class SuiteResult:
         return [c.profile for c in items]
 
 
+@dataclass
+class SuiteRunReport(SuiteResult):
+    """A :class:`SuiteResult` plus the run's failure/resilience record.
+
+    ``results`` holds the *surviving* characterizations (registration
+    order); every workload that failed terminally appears instead in
+    ``failures`` (also registration order) with its full traceback.
+    Downstream analyses degrade gracefully: suite aggregates are
+    computed over the survivors, and :meth:`SuiteResult.suite` already
+    skips absent workloads.
+    """
+
+    failures: List[WorkloadFailure] = field(default_factory=list)
+    #: Attempt counts per executed workload (resumed ones are absent).
+    attempts: Dict[str, int] = field(default_factory=dict)
+    #: Why the engine degraded from the pool to the serial path, if it did.
+    fallback_reason: Optional[str] = None
+    #: Workloads skipped because a journal marked them already complete.
+    resumed: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def failed_workloads(self) -> List[str]:
+        return [f.abbr for f in self.failures]
+
+    def failure_for(self, abbr: str) -> Optional[WorkloadFailure]:
+        for failure in self.failures:
+            if failure.abbr == abbr.upper():
+                return failure
+        return None
+
+    def render_failures(self) -> str:
+        """One line per failed workload (empty string when all passed)."""
+        return "\n".join(f.render() for f in self.failures)
+
+
 def run_suite(
     suites: Sequence[str] = ("Cactus",),
     preset: ScalePreset = LAPTOP_SCALE,
@@ -54,13 +95,23 @@ def run_suite(
     jobs: Optional[int] = None,
     cache: Optional["ResultCache"] = None,
     cache_dir: Optional[str] = None,
-) -> SuiteResult:
+    retry_policy: Optional[RetryPolicy] = None,
+    keep_going: bool = False,
+    journal_dir: Optional[str] = None,
+    fault_plan: Optional["FaultPlan"] = None,
+) -> SuiteRunReport:
     """Characterize every workload of the given suites.
 
     Pass ``workloads`` to restrict to specific abbreviations, ``jobs``
     to fan out across a process pool (negative → one worker per CPU),
     and ``cache``/``cache_dir`` to reuse results across calls and runs.
-    This is a thin wrapper over
+    Failure semantics are governed by *retry_policy* (retries,
+    per-workload timeout, backoff) and *keep_going*: when ``True`` the
+    returned :class:`SuiteRunReport` carries survivors plus failures;
+    when ``False`` (strict, the default) any terminal failure raises
+    :class:`~repro.core.resilience.SuiteRunError`.  *journal_dir*
+    checkpoints completed workloads so an interrupted run resumes
+    there, even with the cache disabled.  This is a thin wrapper over
     :class:`~repro.core.engine.CharacterizationEngine`.
     """
     from repro.core.cache import ResultCache
@@ -68,5 +119,13 @@ def run_suite(
 
     if cache is None and cache_dir is not None:
         cache = ResultCache(cache_dir=cache_dir)
-    engine = CharacterizationEngine(device=device, jobs=jobs, cache=cache)
+    engine = CharacterizationEngine(
+        device=device,
+        jobs=jobs,
+        cache=cache,
+        retry_policy=retry_policy or RetryPolicy(),
+        keep_going=keep_going,
+        journal_dir=journal_dir,
+        fault_plan=fault_plan,
+    )
     return engine.run_suite(suites, preset=preset, workloads=workloads)

@@ -101,8 +101,14 @@ class GPUSimulator:
             key = kernel_metrics_key(self.device, self.options, kernel)
             payload = self.cache.get(key)
             if payload is not None:
-                cached = KernelMetrics.from_json_dict(payload)
-            else:
+                try:
+                    cached = KernelMetrics.from_json_dict(payload)
+                except (KeyError, TypeError, ValueError):
+                    # The entry parsed as JSON but is not a metrics
+                    # record (schema-corrupt): recompute and rewrite
+                    # rather than poisoning the run.
+                    cached = None
+            if cached is None:
                 cached = self.timing_model.run(kernel)
                 self.cache.put(key, cached.to_json_dict())
             self._memo[kernel] = cached

@@ -1,0 +1,29 @@
+"""Deterministic test harnesses for the reproduction pipeline."""
+
+from repro.testing.faults import (
+    CORRUPT_CACHE,
+    CORRUPT_RESULT,
+    CRASH,
+    CRASH_PERMANENT,
+    DIE,
+    HANG,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    InjectedPermanentFault,
+    InjectedTransientFault,
+)
+
+__all__ = [
+    "CORRUPT_CACHE",
+    "CORRUPT_RESULT",
+    "CRASH",
+    "CRASH_PERMANENT",
+    "DIE",
+    "HANG",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "InjectedPermanentFault",
+    "InjectedTransientFault",
+]

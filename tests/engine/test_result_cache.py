@@ -61,7 +61,7 @@ class TestPersistentTier:
         assert expected.is_file()
         assert json.loads(expected.read_text()) == {"v": 1}
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_entry_is_a_quarantined_miss(self, tmp_path):
         cache = ResultCache(cache_dir=tmp_path)
         cache.put(KEY_A, {"v": 1})
         path = cache._path(KEY_A)
@@ -69,6 +69,10 @@ class TestPersistentTier:
         fresh = ResultCache(cache_dir=tmp_path)
         assert fresh.get(KEY_A) is None
         assert fresh.stats.misses == 1
+        assert fresh.stats.corrupt == 1
+        # Moved aside for post-mortem inspection, not left in place.
+        assert not path.exists()
+        assert (tmp_path / "corrupt" / path.name).is_file()
 
     def test_disk_hit_promotes_to_memory(self, tmp_path):
         ResultCache(cache_dir=tmp_path).put(KEY_A, {"v": 1})
@@ -98,17 +102,21 @@ class TestPersistentTier:
 class TestStats:
     def test_merge_and_render(self):
         a = CacheStats(memory_hits=1, disk_hits=2, misses=3, stores=4)
-        b = CacheStats(memory_hits=10, disk_hits=20, misses=30, stores=40)
+        b = CacheStats(
+            memory_hits=10, disk_hits=20, misses=30, stores=40, corrupt=2
+        )
         a.merge(b)
         assert a.as_dict() == {
             "memory_hits": 11,
             "disk_hits": 22,
             "misses": 33,
             "stores": 44,
+            "corrupt": 2,
         }
         assert a.hits == 33
         assert a.lookups == 66
         assert "hit rate 50%" in a.render()
+        assert "2 corrupt entries quarantined" in a.render()
 
     def test_empty_stats(self):
         stats = CacheStats()

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Kill-and-resume smoke: SIGTERM a live suite run, then resume it.
+
+Not a pytest module (the filename keeps it out of collection) — this is
+an end-to-end process-level check used by the CI ``robustness`` job:
+
+1. launch ``python -m repro table1`` with a journal dir and no cache,
+2. poll the journal's ``done/`` markers and SIGTERM the process once at
+   least two workloads have been checkpointed,
+3. rerun the identical command and assert it resumes (skipping every
+   checkpointed workload) and completes with exit code 0.
+
+Exit code 0 = smoke passed.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+SRC = ROOT / "src"
+
+KILL_AFTER_MARKERS = 2
+POLL_S = 0.05
+DEADLINE_S = 300.0
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    # Pin the run shape: serial, journaled, cache-free, no retries env.
+    for name in ("REPRO_JOBS", "REPRO_RETRIES", "REPRO_TIMEOUT",
+                 "REPRO_CACHE_DIR", "REPRO_JOURNAL_DIR"):
+        env.pop(name, None)
+    return env
+
+
+def _command(journal_dir):
+    return [
+        sys.executable, "-m", "repro",
+        "--no-cache", "--journal-dir", str(journal_dir),
+        "table1",
+    ]
+
+
+def _markers(journal_dir):
+    done = Path(journal_dir) / "done"
+    if not done.is_dir():
+        return set()
+    return {p.stem for p in done.glob("*.json")}
+
+
+def _cactus_workloads():
+    sys.path.insert(0, str(SRC))
+    from repro.workloads import list_workloads
+
+    return set(list_workloads("Cactus"))
+
+
+def main():
+    expected = _cactus_workloads()
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as journal_dir:
+        # -- phase 1: start and kill mid-run ---------------------------
+        proc = subprocess.Popen(
+            _command(journal_dir), env=_env(),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + DEADLINE_S
+        killed_at = None
+        while proc.poll() is None and time.monotonic() < deadline:
+            done = _markers(journal_dir)
+            if len(done) >= KILL_AFTER_MARKERS:
+                killed_at = done
+                try:
+                    proc.send_signal(signal.SIGTERM)
+                except ProcessLookupError:
+                    pass
+                break
+            time.sleep(POLL_S)
+        rc = proc.wait(timeout=60)
+
+        if killed_at is None:
+            print(
+                f"FAIL: run finished (rc={rc}) before "
+                f"{KILL_AFTER_MARKERS} journal markers appeared — "
+                f"nothing was interrupted", file=sys.stderr,
+            )
+            return 1
+        if rc == 0:
+            print("FAIL: SIGTERM'd run still exited 0", file=sys.stderr)
+            return 1
+        survivors = _markers(journal_dir)
+        print(
+            f"killed run (rc={rc}) with {len(survivors)} checkpointed "
+            f"workload(s): {', '.join(sorted(survivors))}"
+        )
+        if survivors >= expected:
+            print("FAIL: every workload already checkpointed — the kill "
+                  "landed too late to exercise resumption", file=sys.stderr)
+            return 1
+
+        # -- phase 2: resume -------------------------------------------
+        result = subprocess.run(
+            _command(journal_dir), env=_env(),
+            capture_output=True, text=True, timeout=DEADLINE_S,
+        )
+        if result.returncode != 0:
+            print(f"FAIL: resumed run exited {result.returncode}\n"
+                  f"{result.stderr}", file=sys.stderr)
+            return 1
+        if "[journal] resumed" not in result.stderr:
+            print("FAIL: resumed run did not report journal resumption\n"
+                  f"{result.stderr}", file=sys.stderr)
+            return 1
+        final = _markers(journal_dir)
+        if final != expected:
+            print(f"FAIL: final journal covers {sorted(final)}, "
+                  f"expected {sorted(expected)}", file=sys.stderr)
+            return 1
+        missing = survivors - final
+        if missing:
+            print(f"FAIL: checkpointed workloads vanished: {missing}",
+                  file=sys.stderr)
+            return 1
+        print(
+            f"resumed run skipped {len(survivors)} checkpointed "
+            f"workload(s) and completed the remaining "
+            f"{len(expected) - len(survivors)} — smoke passed"
+        )
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
