@@ -1,0 +1,203 @@
+"""Hot-path performance benchmark for the characterization pipeline.
+
+Times every Cactus workload through the three pipeline stages — launch
+stream construction (graph generation + traversal), simulation, and
+analysis — and writes the per-workload wall-clock breakdown to
+``BENCH_pipeline.json``.  Each stream's ``launch_stream_digest`` is
+checked against the pinned fixture
+(``tests/golden/fixtures/stream_digests.json``): a **digest mismatch is
+a correctness failure** (exit code 1 / test failure); **timings are
+recorded but never gate** — they are a trend artifact, CI machines are
+too noisy to assert on.
+
+Run directly for the paper-scale numbers the DESIGN.md performance
+section quotes::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline_hotpaths.py --preset paper
+
+or at a reduced scale (the CI job)::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline_hotpaths.py \
+        --preset laptop --output BENCH_pipeline.json
+
+The module is also collected by pytest: ``test_pipeline_hotpaths`` runs
+the graph workloads at the laptop preset and asserts only digests.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DIGEST_FIXTURE = (
+    REPO_ROOT / "tests" / "golden" / "fixtures" / "stream_digests.json"
+)
+DEFAULT_OUTPUT = Path(__file__).parent / "output" / "BENCH_pipeline.json"
+
+_PRESETS = ("laptop", "observation", "paper")
+_CACTUS_ORDER = (
+    "GMS", "LMR", "LMC", "GST", "GRU", "DCG", "NST", "RFL", "SPT", "LGT",
+)
+
+
+def _preset(name: str):
+    from repro.core.config import (
+        LAPTOP_SCALE,
+        OBSERVATION_SCALE,
+        PAPER_SCALE,
+    )
+
+    return {
+        "laptop": LAPTOP_SCALE,
+        "observation": OBSERVATION_SCALE,
+        "paper": PAPER_SCALE,
+    }[name]
+
+
+def _pinned_digests(preset_name: str) -> Dict[str, Dict]:
+    if not DIGEST_FIXTURE.exists():
+        return {}
+    payload = json.loads(DIGEST_FIXTURE.read_text(encoding="utf-8"))
+    return payload.get("presets", {}).get(preset_name, {})
+
+
+def bench_workload(abbr: str, preset_name: str) -> Dict:
+    """Characterize one workload, timing each pipeline stage."""
+    from repro.core.characterize import build_characterization
+    from repro.gpu.digest import launch_stream_digest
+    from repro.profiler.profiler import Profiler
+    from repro.workloads.registry import get_workload
+
+    preset = _preset(preset_name)
+    workload = get_workload(abbr, scale=preset.for_workload(abbr), seed=0)
+    profiler = Profiler()
+
+    t0 = time.perf_counter()
+    stream = profiler.prepare_stream(workload)
+    t1 = time.perf_counter()
+    profile = profiler.profile_launches(
+        stream,
+        workload=workload.name,
+        suite=workload.suite,
+        domain=workload.domain,
+    )
+    t2 = time.perf_counter()
+    characterization = build_characterization(abbr, profile)
+    t3 = time.perf_counter()
+    digest = launch_stream_digest(stream)
+
+    return {
+        "stream_s": t1 - t0,
+        "simulate_s": t2 - t1,
+        "analyze_s": t3 - t2,
+        "total_s": t3 - t0,
+        "launches": len(stream),
+        "distinct_kernels": len(characterization.profile.kernels),
+        "digest": digest,
+    }
+
+
+def run_benchmark(
+    preset_name: str, workloads: Optional[List[str]] = None
+) -> Dict:
+    """Benchmark *workloads* (default: the full Cactus suite)."""
+    selected = list(workloads or _CACTUS_ORDER)
+    pinned = _pinned_digests(preset_name)
+    results: Dict[str, Dict] = {}
+    mismatches: List[str] = []
+    for abbr in selected:
+        entry = bench_workload(abbr, preset_name)
+        reference = pinned.get(abbr)
+        if reference is None:
+            entry["digest_ok"] = None  # nothing pinned for this preset
+        else:
+            entry["digest_ok"] = entry["digest"] == reference["digest"]
+            if not entry["digest_ok"]:
+                mismatches.append(abbr)
+        results[abbr] = entry
+    return {
+        "schema": 1,
+        "preset": preset_name,
+        "generated_at_unix": time.time(),
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "workloads": results,
+        "combined_total_s": sum(r["total_s"] for r in results.values()),
+        "digest_mismatches": mismatches,
+    }
+
+
+def write_report(report: Dict, output: Path) -> None:
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--preset", choices=_PRESETS, default="paper",
+        help="scale preset to benchmark at (default: paper)",
+    )
+    parser.add_argument(
+        "--workloads", nargs="+", metavar="ABBR", default=None,
+        help="workload abbreviations (default: the full Cactus suite)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help=f"where to write BENCH_pipeline.json (default: {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(args.preset, args.workloads)
+    write_report(report, args.output)
+
+    width = max(len(a) for a in report["workloads"])
+    for abbr, entry in report["workloads"].items():
+        status = {True: "ok", False: "DIGEST MISMATCH", None: "unpinned"}[
+            entry["digest_ok"]
+        ]
+        print(
+            f"{abbr:<{width}}  stream {entry['stream_s']:7.3f}s  "
+            f"simulate {entry['simulate_s']:7.3f}s  "
+            f"analyze {entry['analyze_s']:7.3f}s  "
+            f"total {entry['total_s']:7.3f}s  [{status}]"
+        )
+    print(
+        f"combined: {report['combined_total_s']:.3f}s "
+        f"({report['preset']} preset) -> {args.output}"
+    )
+    if report["digest_mismatches"]:
+        print(
+            "FAIL: launch-stream digest mismatch for "
+            + ", ".join(report["digest_mismatches"]),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def test_pipeline_hotpaths(tmp_path):
+    """Digest-gated smoke run at the laptop preset (timings not asserted)."""
+    report = run_benchmark("laptop", ["GST", "GRU"])
+    write_report(report, tmp_path / "BENCH_pipeline.json")
+    assert (tmp_path / "BENCH_pipeline.json").exists()
+    assert report["digest_mismatches"] == []
+    for entry in report["workloads"].values():
+        assert entry["digest_ok"] is True
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

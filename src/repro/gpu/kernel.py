@@ -235,6 +235,12 @@ class LaunchStream:
 
     def __init__(self, launches: Optional[Iterable[KernelLaunch]] = None) -> None:
         self._launches: List[KernelLaunch] = list(launches or [])
+        # Maintained incrementally as launches arrive — the same
+        # sequential left-fold the old on-demand sum performed, so the
+        # value is bit-identical while reads become O(1) instead of O(L).
+        self._total_warp_insts: float = 0.0
+        for item in self._launches:
+            self._total_warp_insts += item.kernel.warp_insts
 
     def launch(
         self,
@@ -244,10 +250,13 @@ class LaunchStream:
     ) -> KernelLaunch:
         item = KernelLaunch(kernel=kernel, stream_id=stream_id, phase=phase)
         self._launches.append(item)
+        self._total_warp_insts += kernel.warp_insts
         return item
 
     def extend(self, other: Iterable[KernelLaunch]) -> None:
-        self._launches.extend(other)
+        for item in other:
+            self._launches.append(item)
+            self._total_warp_insts += item.kernel.warp_insts
 
     def __iter__(self) -> Iterator[KernelLaunch]:
         return iter(self._launches)
@@ -260,13 +269,13 @@ class LaunchStream:
 
     @property
     def kernel_names(self) -> List[str]:
-        """Distinct kernel names in first-launch order."""
-        seen: List[str] = []
-        for launch in self._launches:
-            if launch.name not in seen:
-                seen.append(launch.name)
-        return seen
+        """Distinct kernel names in first-launch order.
+
+        Dict-ordered dedup: O(L) instead of the O(L x distinct) a
+        list-membership scan pays on streams with thousands of launches.
+        """
+        return list(dict.fromkeys(launch.name for launch in self._launches))
 
     @property
     def total_warp_insts(self) -> float:
-        return sum(launch.kernel.warp_insts for launch in self._launches)
+        return self._total_warp_insts

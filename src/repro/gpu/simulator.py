@@ -117,6 +117,26 @@ class GPUSimulator:
             self._memo[kernel] = cached
         return cached
 
+    def run_stream(self, launches: Iterable[KernelLaunch]) -> List[KernelMetrics]:
+        """Metrics for every launch in the stream, in order.
+
+        Batched: identical kernels are grouped first, so the timing
+        model and the cache-key layer (content digests, persistent-cache
+        probes) run once per *distinct* kernel instead of once per
+        launch.  Streams with thousands of repeated launches — every
+        graph workload — pay one simulation per unique kernel.
+        """
+        distinct: Dict[KernelCharacteristics, KernelMetrics] = {}
+        results: List[KernelMetrics] = []
+        for launch in launches:
+            kernel = launch.kernel
+            metrics = distinct.get(kernel)
+            if metrics is None:
+                metrics = self.run_kernel(kernel)
+                distinct[kernel] = metrics
+            results.append(metrics)
+        return results
+
     def run(self, launches: Iterable[KernelLaunch]) -> List[KernelMetrics]:
         """Metrics for every launch in the stream, in order."""
-        return [self.run_kernel(launch.kernel) for launch in launches]
+        return self.run_stream(launches)

@@ -69,9 +69,10 @@ class Profiler:
         domain: str = "",
     ) -> ApplicationProfile:
         """Aggregate an explicit launch sequence into a profile."""
+        launch_list = list(launches)
+        metrics = self.simulator.run_stream(launch_list)
         by_name: Dict[str, List[KernelMetrics]] = defaultdict(list)
-        for launch in launches:
-            record = self.simulator.run_kernel(launch.kernel)
+        for launch, record in zip(launch_list, metrics):
             by_name[launch.name].append(record)
         kernels = [
             aggregate_launches(name, records)

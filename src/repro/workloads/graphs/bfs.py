@@ -20,6 +20,8 @@ for GST; thousands of tiny launches for GRU).
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.gpu.kernel import LaunchStream
@@ -54,6 +56,16 @@ _ROAD_VERTICES = 23_000_000
 _MIN_SOCIAL_VERTICES = 20_000
 _MIN_ROAD_VERTICES = 20_000
 
+#: Tractability threshold: characterizing a graph above this vertex
+#: count takes minutes on one core.  Every routine surface stays below
+#: it (PAPER_SCALE builds ~1.05 M / 1.15 M vertices; the CLI's
+#: ``characterize --scale 0.25`` default ~5.25 M); only the implicit
+#: ``scale=1.0`` default — the paper's full 21 M / 23 M vertex graphs —
+#: crosses it, which is almost never what an interactive caller wants.
+#: Instantiating above the threshold emits a ``UserWarning`` rather
+#: than silently running for a large fraction of an hour.
+TRACTABLE_VERTICES = 8_000_000
+
 
 class GunrockBFS(Workload):
     """Shared BFS driver; subclasses choose the graph and strategies."""
@@ -87,9 +99,24 @@ class GunrockBFS(Workload):
     def __init__(self, scale: float = 1.0, seed: int = 0, source: int = 0) -> None:
         super().__init__(self._info(), scale=scale, seed=seed)
         self.source = source
+        vertices = self._num_vertices()
+        if vertices > TRACTABLE_VERTICES:
+            warnings.warn(
+                f"{self.abbr} at scale={self.scale} builds a "
+                f"{vertices:,}-vertex graph (tractability threshold: "
+                f"{TRACTABLE_VERTICES:,}); characterization will take "
+                "minutes. Pass an explicit smaller scale (e.g. a "
+                "ScalePreset's graph scale) unless the full-size graph "
+                "is intended.",
+                UserWarning,
+                stacklevel=2,
+            )
 
     # -- hooks ---------------------------------------------------------
     def _info(self) -> WorkloadInfo:
+        raise NotImplementedError
+
+    def _num_vertices(self) -> int:
         raise NotImplementedError
 
     def _build_graph(self) -> CSRGraph:
@@ -99,6 +126,7 @@ class GunrockBFS(Workload):
     def launch_stream(self) -> LaunchStream:
         graph = self._build_graph()
         n = graph.num_vertices
+        indptr = graph.indptr
         visited = np.zeros(n, dtype=bool)
         source = int(self.source) % n
         visited[source] = True
@@ -109,11 +137,16 @@ class GunrockBFS(Workload):
 
         total_edges = max(1, graph.num_edges)
         explored_edges = 0
+        # Tracked incrementally (== n - visited.sum() at each loop top):
+        # a per-level population count would make the traversal
+        # O(levels × V) — 2,000+ levels on the road graph.
+        unvisited = n - 1
+        sqrt_n = float(np.sqrt(n))
         level = 0
         while frontier.size > 0:
             level += 1
-            edges = graph.frontier_edges(frontier)
-            unvisited = int(n - visited.sum())
+            degrees = indptr[frontier + 1] - indptr[frontier]
+            edges = int(degrees.sum())
             unexplored_edges = max(1, total_edges - explored_edges)
             explored_edges += edges
             # Beamer et al.'s direction-optimization heuristic.
@@ -122,35 +155,48 @@ class GunrockBFS(Workload):
                 and edges > unexplored_edges / self.beamer_alpha
                 and frontier.size > n / self.beamer_beta
             )
-            degrees = graph.indptr[frontier + 1] - graph.indptr[frontier]
-            avg_deg = max(1.0, float(degrees.mean()))
-            sqrt_n = float(np.sqrt(n))
+            # degrees sum < 2^53, so the exact int quotient equals the
+            # float-accumulated degrees.mean() bit for bit.
+            avg_deg = max(1.0, edges / frontier.size)
             use_lb = frontier.size > 32 and (
                 float(degrees.max()) > self.lb_skew * avg_deg
                 or frontier.size > self.lb_size_sqrt * sqrt_n
             )
 
-            # Pull cost is set by the unvisited set *before* this level
-            # expands (those are the vertices whose in-edges get scanned).
-            unvisited_vertices = np.flatnonzero(~visited)
+            if use_pull:
+                # Pull cost is set by the unvisited set *before* this
+                # level expands (those are the vertices whose in-edges
+                # get scanned).  Materialized only when the Beamer
+                # pre-conditions actually hold — push-only traversals
+                # never pay this O(V) scan.
+                unvisited_vertices = np.flatnonzero(~visited)
+                scanned = int(
+                    graph.frontier_edges(unvisited_vertices) * 0.6
+                )
 
             # The actual expansion (correctness is tested against a
             # reference BFS).
             raw_neighbors = graph.expand(frontier)
             raw_out = raw_neighbors.size
-            candidates = np.unique(raw_neighbors)
-            new_mask = ~visited[candidates]
-            next_frontier = candidates[new_mask]
+            if 4 * raw_out >= n:
+                # Dense level: dedup + visited-filter via a bitmap
+                # scatter, O(V) regardless of duplication.
+                mask = np.zeros(n, dtype=bool)
+                mask[raw_neighbors] = True
+                mask &= ~visited
+                next_frontier = np.flatnonzero(mask)
+            else:
+                # Sparse level: filter first, then sort-unique only the
+                # survivors — O(r log r) in the (tiny) raw output, never
+                # in V.  Same sorted set either way.
+                fresh = raw_neighbors[~visited[raw_neighbors]]
+                next_frontier = np.unique(fresh)
             visited[next_frontier] = True
 
             phase = f"level{level}"
             if use_pull:
-                # Pull scans the unvisited vertices' adjacency until a
-                # visited parent is found; with a frontier this dense,
-                # roughly 60 % of the unvisited set's edges are touched.
-                scanned = int(
-                    graph.frontier_edges(unvisited_vertices) * 0.6
-                )
+                # The pull kernel is sized by the pre-level unvisited
+                # count, matching the frontier_edges argument above.
                 stream.launch(ops.bitmap_convert_kernel(n), phase=phase)
                 stream.launch(
                     ops.advance_pull_kernel(unvisited, scanned), phase=phase
@@ -192,6 +238,7 @@ class GunrockBFS(Workload):
                 ops.length_reduce_kernel(max(1, next_frontier.size)),
                 phase=phase,
             )
+            unvisited -= int(next_frontier.size)
             frontier = next_frontier
         return stream
 
@@ -220,9 +267,11 @@ class SocialBFS(GunrockBFS):
     def _info(self) -> WorkloadInfo:
         return GST_INFO
 
+    def _num_vertices(self) -> int:
+        return max(_MIN_SOCIAL_VERTICES, int(_SOCIAL_VERTICES * self.scale))
+
     def _build_graph(self) -> CSRGraph:
-        n = max(_MIN_SOCIAL_VERTICES, int(_SOCIAL_VERTICES * self.scale))
-        return social_network(n, seed=self.seed)
+        return social_network(self._num_vertices(), seed=self.seed)
 
 
 class RoadBFS(GunrockBFS):
@@ -233,6 +282,8 @@ class RoadBFS(GunrockBFS):
     def _info(self) -> WorkloadInfo:
         return GRU_INFO
 
+    def _num_vertices(self) -> int:
+        return max(_MIN_ROAD_VERTICES, int(_ROAD_VERTICES * self.scale))
+
     def _build_graph(self) -> CSRGraph:
-        n = max(_MIN_ROAD_VERTICES, int(_ROAD_VERTICES * self.scale))
-        return road_network(n, seed=self.seed)
+        return road_network(self._num_vertices(), seed=self.seed)

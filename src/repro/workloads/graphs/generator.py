@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.workloads.graphs.csr import CSRGraph
+from repro.workloads.graphs.sampling import AliasTable, CdfSampler
 
 
 def social_network(
@@ -26,6 +27,7 @@ def social_network(
     avg_degree: float = 12.6,
     power_law_exponent: float = 2.1,
     seed: int = 0,
+    endpoint_sampler: str = "guide",
 ) -> CSRGraph:
     """Chung-Lu scale-free graph (SOC-Twitter10 surrogate).
 
@@ -33,6 +35,15 @@ def social_network(
     power-law exponent ``gamma``; edges pick endpoints proportionally to
     the weights, giving the hubs + heavy tail of a social network.
     The default average degree 12.6 matches 265 M edges / 21 M vertices.
+
+    *endpoint_sampler* selects how the 2·E weighted endpoint draws run:
+
+    * ``"guide"`` (default) — guide-table inverse CDF, bit-for-bit the
+      stream ``rng.choice`` produced historically, so every pinned
+      launch-stream digest is preserved;
+    * ``"alias"`` — Walker alias method, O(1) per draw with the same
+      marginal distribution but a different uniform→vertex mapping, so
+      it yields a *different* (equally valid) graph per seed.
     """
     if num_vertices < 2:
         raise ValueError("num_vertices must be >= 2")
@@ -40,6 +51,11 @@ def social_network(
         raise ValueError("avg_degree must be positive")
     if power_law_exponent <= 1.0:
         raise ValueError("power_law_exponent must be > 1")
+    if endpoint_sampler not in ("guide", "alias"):
+        raise ValueError(
+            "endpoint_sampler must be 'guide' or 'alias', "
+            f"got {endpoint_sampler!r}"
+        )
     rng = np.random.default_rng(seed)
     num_edges = int(num_vertices * avg_degree)
 
@@ -51,8 +67,12 @@ def social_network(
     weights = np.minimum(weights, weights.sum() * 0.02 / avg_degree)
     probabilities = weights / weights.sum()
 
-    src = rng.choice(num_vertices, size=num_edges, p=probabilities)
-    dst = rng.choice(num_vertices, size=num_edges, p=probabilities)
+    if endpoint_sampler == "alias":
+        sampler = AliasTable(probabilities)
+    else:
+        sampler = CdfSampler(probabilities)
+    src = sampler.sample(rng, num_edges)
+    dst = sampler.sample(rng, num_edges)
     keep = src != dst
     return CSRGraph.from_edges(num_vertices, src[keep], dst[keep])
 

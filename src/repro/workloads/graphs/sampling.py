@@ -1,0 +1,178 @@
+"""Fast weighted vertex sampling for the graph generators.
+
+The social-network generator draws tens of millions of edge endpoints
+from a power-law vertex distribution.  ``numpy``'s ``Generator.choice``
+implements this as a full binary search of the CDF per sample, which
+profiling shows dominating GST's graph build.  This module provides two
+O(1)-per-draw samplers:
+
+* :class:`CdfSampler` — a Chen–Asau *guide table* accelerating the exact
+  inverse-CDF transform.  Fed the same uniform stream, it reproduces
+  ``rng.choice(n, size=size, p=p)`` **bit for bit** (it computes exactly
+  ``cdf.searchsorted(u, side="right")``, just with a bucketed search),
+  so every downstream launch-stream digest is unchanged.  This is the
+  sampler the pipeline uses.
+* :class:`AliasTable` — Walker's alias method.  Construction is O(n),
+  each draw costs one uniform and two table probes.  It samples the same
+  *distribution* but maps uniforms to indices differently, so it cannot
+  replay an existing ``rng.choice`` stream; use it for new code where no
+  digest-compatibility contract exists.
+
+Both are seeded-deterministic: the mapping from ``(probabilities,
+uniform draws)`` to samples contains no hidden state, so equal seeds
+give equal graphs across processes and platforms.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def _normalized_probabilities(probabilities: np.ndarray) -> np.ndarray:
+    p = np.asarray(probabilities, dtype=np.float64)
+    if p.ndim != 1 or p.size == 0:
+        raise ValueError("probabilities must be a non-empty 1-D array")
+    if np.any(p < 0):
+        raise ValueError("probabilities must be non-negative")
+    total = p.sum()
+    if not np.isfinite(total) or total <= 0:
+        raise ValueError("probabilities must have a positive, finite sum")
+    return p
+
+
+class CdfSampler:
+    """Exact-replay weighted sampler (guide-table inverse CDF).
+
+    ``Generator.choice(n, size=k, p=p)`` internally computes::
+
+        cdf = p.cumsum(); cdf /= cdf[-1]
+        u = rng.random(k)
+        idx = cdf.searchsorted(u, side="right")
+
+    :meth:`sample` consumes the identical ``rng.random(k)`` stream and
+    computes the identical ``searchsorted`` result, but resolves each
+    sample through a guide table of ``K`` equal-width buckets over
+    [0, 1): bucket ``j`` pre-stores the index range the search can land
+    in, so the per-sample binary search collapses to one or two
+    vectorized refinement rounds instead of ``log2(n)`` scalar probes.
+
+    ``K`` is a power of two so ``floor(u * K)`` and the bucket bounds
+    ``j / K`` are exact in binary floating point — the bracketing
+    invariant ``guide[j] <= searchsorted(u) <= guide[j + 1]`` is then
+    exact, and the refinement bisection uses the same ``cdf[mid] <= u``
+    comparisons as ``searchsorted`` itself, which makes the replay
+    bit-for-bit regardless of rounding in ``cdf``.
+    """
+
+    def __init__(
+        self,
+        probabilities: np.ndarray,
+        guide_buckets: Optional[int] = None,
+    ) -> None:
+        p = _normalized_probabilities(probabilities)
+        cdf = p.cumsum()
+        cdf /= cdf[-1]
+        self.cdf = cdf
+        n = cdf.size
+        if guide_buckets is None:
+            # ~2 buckets per outcome keeps almost every bucket's index
+            # range at width <= 1 while the table stays cache-friendly.
+            guide_buckets = 1 << max(1, int(np.ceil(np.log2(2 * n))))
+        if guide_buckets < 2 or guide_buckets & (guide_buckets - 1):
+            raise ValueError(
+                f"guide_buckets must be a power of two >= 2, got {guide_buckets}"
+            )
+        self._buckets = guide_buckets
+        boundaries = (
+            np.arange(guide_buckets + 1, dtype=np.float64) / guide_buckets
+        )
+        dtype = np.int32 if n < np.iinfo(np.int32).max else np.int64
+        self._guide = cdf.searchsorted(boundaries, side="right").astype(dtype)
+
+    def __len__(self) -> int:
+        return int(self.cdf.size)
+
+    # ------------------------------------------------------------------
+    def lookup(self, u: np.ndarray) -> np.ndarray:
+        """``cdf.searchsorted(u, side="right")`` for uniforms in [0, 1)."""
+        u = np.asarray(u, dtype=np.float64)
+        cdf = self.cdf
+        bucket = (u * self._buckets).astype(self._guide.dtype)
+        lo = self._guide[bucket]
+        hi = self._guide[bucket + 1]
+        # Vectorized bisection on the (typically empty or single-entry)
+        # per-bucket index range; identical comparisons to searchsorted.
+        active = np.flatnonzero(lo < hi)
+        while active.size:
+            alo = lo[active]
+            ahi = hi[active]
+            mid = (alo + ahi) >> 1
+            go_right = cdf[mid] <= u[active]
+            alo = np.where(go_right, mid + 1, alo)
+            ahi = np.where(go_right, ahi, mid)
+            lo[active] = alo
+            hi[active] = ahi
+            active = active[alo < ahi]
+        return lo.astype(np.int64, copy=False)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw *size* indices; bit-identical to ``rng.choice(n, size, p=p)``.
+
+        Consumes exactly ``size`` doubles from *rng*, the same stream
+        ``Generator.choice`` would consume.
+        """
+        return self.lookup(rng.random(size))
+
+
+class AliasTable:
+    """Walker alias-method sampler: O(n) build, O(1) per draw.
+
+    Each of the *n* equal-width columns stores a threshold and an alias;
+    a draw picks a column from one uniform and keeps either the column
+    index or its alias.  The split/donate construction is vectorized:
+    every round pairs the current under-full columns with over-full
+    donors, so the build finishes in a handful of array passes.
+
+    Samples the same distribution as :class:`CdfSampler` but consumes
+    randomness differently (column + coin from one double), so streams
+    are *not* interchangeable with ``Generator.choice`` — see the module
+    docstring for when that matters.
+    """
+
+    def __init__(self, probabilities: np.ndarray) -> None:
+        p = _normalized_probabilities(probabilities)
+        p = p / p.sum()
+        n = p.size
+        prob = p * n
+        alias = np.arange(n, dtype=np.int64)
+        small = np.flatnonzero(prob < 1.0)
+        large = np.flatnonzero(prob >= 1.0)
+        # Pair under-full columns with donors; donors shrink and may
+        # become under-full themselves, feeding the next round.
+        while small.size and large.size:
+            k = min(small.size, large.size)
+            take_small = small[:k]
+            take_large = large[:k]
+            alias[take_small] = take_large
+            prob[take_large] -= 1.0 - prob[take_small]
+            donors_now_small = take_large[prob[take_large] < 1.0]
+            donors_still_large = take_large[prob[take_large] >= 1.0]
+            small = np.concatenate([small[k:], donors_now_small])
+            large = np.concatenate([large[k:], donors_still_large])
+        # Float residue: whatever is left fills its own column exactly.
+        prob[small] = 1.0
+        prob[large] = 1.0
+        self.prob = prob
+        self.alias = alias
+
+    def __len__(self) -> int:
+        return int(self.prob.size)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw *size* indices from the table's distribution."""
+        scaled = rng.random(size) * len(self)
+        column = scaled.astype(np.int64)
+        coin = scaled - column
+        return np.where(coin < self.prob[column], column, self.alias[column])

@@ -39,6 +39,14 @@ def _ensure_loaded() -> None:
 def get_workload(abbr: str, scale: float = 1.0, seed: int = 0) -> Workload:
     """Instantiate the workload registered under *abbr*."""
     _ensure_loaded()
+    if not isinstance(abbr, str):
+        # A Workload instance (or anything else) here used to surface as
+        # a bare AttributeError on .upper() — name the contract instead.
+        raise TypeError(
+            "get_workload expects a workload abbreviation string such as "
+            f"'GST', not {type(abbr).__name__!r}; pass Workload instances "
+            "directly to the pipeline instead of re-resolving them"
+        )
     key = abbr.upper()
     if key not in _REGISTRY:
         known = ", ".join(sorted(_REGISTRY))

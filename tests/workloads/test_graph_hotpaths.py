@@ -1,0 +1,422 @@
+"""Differential tests for the vectorized graph hot paths.
+
+The BFS driver, graph generators and CSR builder were rewritten for
+speed under a strict contract: the launch streams — and therefore every
+``launch_stream_digest``, cache key and downstream figure — must be
+**bit-for-bit identical** to the original implementations.  These tests
+enforce the contract three ways:
+
+1. component differentials against faithful reimplementations of the
+   original (argsort ``from_edges``, double-``repeat`` ``expand``,
+   ``rng.choice`` endpoint draws) on adversarial random inputs;
+2. an end-to-end differential: a legacy BFS driver built from the legacy
+   components, compared by stream digest against the production path
+   over ``(scale, seed, source)``;
+3. pinned digests: every Cactus workload's stream digest at the laptop
+   preset against the checked-in fixture captured from the
+   pre-vectorization code.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.digest import launch_stream_digest
+from repro.gpu.kernel import LaunchStream
+from repro.profiler.profiler import Profiler
+from repro.workloads.graphs import frontier as ops
+from repro.workloads.graphs.bfs import (
+    TRACTABLE_VERTICES,
+    GunrockBFS,
+    RoadBFS,
+    SocialBFS,
+)
+from repro.workloads.graphs.csr import CSRGraph
+from repro.workloads.graphs.generator import road_network, social_network
+from repro.workloads.graphs.sampling import AliasTable, CdfSampler
+from repro.workloads.registry import get_workload
+
+DIGEST_FIXTURE = (
+    Path(__file__).parent.parent / "golden" / "fixtures" / "stream_digests.json"
+)
+
+
+# ---------------------------------------------------------------------------
+# Legacy reference implementations (the pre-vectorization code, verbatim
+# modulo variable names).  These define what "unchanged behaviour" means.
+# ---------------------------------------------------------------------------
+
+def legacy_from_edges(num_vertices, src, dst):
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    order = np.argsort(src, kind="stable")
+    dst_sorted = dst[order]
+    counts = np.bincount(src[order], minlength=num_vertices)
+    indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, dst_sorted
+
+
+def legacy_expand(graph, frontier):
+    starts = graph.indptr[frontier]
+    ends = graph.indptr[frontier + 1]
+    lengths = ends - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.repeat(starts, lengths)
+    within = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(lengths) - lengths, lengths
+    )
+    return graph.indices[offsets + within]
+
+
+def legacy_social_network(num_vertices, avg_degree=12.6,
+                          power_law_exponent=2.1, seed=0):
+    rng = np.random.default_rng(seed)
+    num_edges = int(num_vertices * avg_degree)
+    ranks = np.arange(1, num_vertices + 1, dtype=np.float64)
+    weights = ranks ** (-1.0 / (power_law_exponent - 1.0))
+    weights = np.minimum(weights, weights.sum() * 0.02 / avg_degree)
+    probabilities = weights / weights.sum()
+    src = rng.choice(num_vertices, size=num_edges, p=probabilities)
+    dst = rng.choice(num_vertices, size=num_edges, p=probabilities)
+    keep = src != dst
+    indptr, indices = legacy_from_edges(num_vertices, src[keep], dst[keep])
+    return CSRGraph(indptr, indices)
+
+
+def legacy_launch_stream(workload, graph):
+    """The original per-level scan BFS driver, on a prebuilt graph."""
+    n = graph.num_vertices
+    visited = np.zeros(n, dtype=bool)
+    source = int(workload.source) % n
+    visited[source] = True
+    frontier = np.array([source], dtype=np.int64)
+
+    stream = LaunchStream()
+    stream.launch(ops.init_distances_kernel(n), phase="init")
+
+    total_edges = max(1, graph.num_edges)
+    explored_edges = 0
+    level = 0
+    while frontier.size > 0:
+        level += 1
+        edges = graph.frontier_edges(frontier)
+        unvisited = int(n - visited.sum())
+        unexplored_edges = max(1, total_edges - explored_edges)
+        explored_edges += edges
+        use_pull = (
+            workload.direction_optimizing
+            and edges > unexplored_edges / workload.beamer_alpha
+            and frontier.size > n / workload.beamer_beta
+        )
+        degrees = graph.indptr[frontier + 1] - graph.indptr[frontier]
+        avg_deg = max(1.0, float(degrees.mean()))
+        sqrt_n = float(np.sqrt(n))
+        use_lb = frontier.size > 32 and (
+            float(degrees.max()) > workload.lb_skew * avg_deg
+            or frontier.size > workload.lb_size_sqrt * sqrt_n
+        )
+
+        unvisited_vertices = np.flatnonzero(~visited)
+
+        raw_neighbors = legacy_expand(graph, frontier)
+        raw_out = raw_neighbors.size
+        candidates = np.unique(raw_neighbors)
+        new_mask = ~visited[candidates]
+        next_frontier = candidates[new_mask]
+        visited[next_frontier] = True
+
+        phase = f"level{level}"
+        if use_pull:
+            scanned = int(graph.frontier_edges(unvisited_vertices) * 0.6)
+            stream.launch(ops.bitmap_convert_kernel(n), phase=phase)
+            stream.launch(
+                ops.advance_pull_kernel(unvisited, scanned), phase=phase
+            )
+        else:
+            if use_lb:
+                stream.launch(
+                    ops.output_offsets_kernel(frontier.size), phase=phase
+                )
+                stream.launch(
+                    ops.advance_lb_kernel(frontier.size, edges), phase=phase
+                )
+            else:
+                stream.launch(
+                    ops.advance_twc_kernel(frontier.size, edges), phase=phase
+                )
+            stream.launch(ops.filter_cull_kernel(raw_out), phase=phase)
+            duplication = raw_out / max(1, next_frontier.size)
+            if (
+                duplication > workload.uniquify_duplication
+                and raw_out > 0.001 * total_edges
+            ):
+                stream.launch(ops.uniquify_kernel(raw_out), phase=phase)
+            if raw_out > workload.compact_sqrt * sqrt_n:
+                stream.launch(ops.compact_scan_kernel(raw_out), phase=phase)
+                stream.launch(ops.compact_scatter_kernel(raw_out), phase=phase)
+
+        if next_frontier.size > workload.bitmask_threshold * n:
+            stream.launch(
+                ops.bitmask_update_kernel(next_frontier.size), phase=phase
+            )
+        stream.launch(
+            ops.length_reduce_kernel(max(1, next_frontier.size)), phase=phase
+        )
+        frontier = next_frontier
+    return stream
+
+
+# ---------------------------------------------------------------------------
+# Component differentials
+# ---------------------------------------------------------------------------
+
+@given(
+    n=st.integers(2, 5000),
+    seed=st.integers(0, 2**32 - 1),
+    size=st.integers(1, 20000),
+)
+@settings(max_examples=25, deadline=None)
+def test_cdf_sampler_replays_rng_choice_exactly(n, seed, size):
+    """CdfSampler consumes the same uniforms and returns the same draws."""
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = np.minimum(ranks**-0.9, ranks.sum() * 0.002)
+    p = weights / weights.sum()
+    expected = np.random.default_rng(seed).choice(n, size=size, p=p)
+    actual = CdfSampler(p).sample(np.random.default_rng(seed), size)
+    np.testing.assert_array_equal(actual, expected)
+
+
+@given(weights=st.lists(st.floats(1e-6, 1e6), min_size=1, max_size=200),
+       seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=50, deadline=None)
+def test_cdf_sampler_replays_arbitrary_weights(weights, seed):
+    p = np.asarray(weights) / np.sum(weights)
+    n = p.size
+    expected = np.random.default_rng(seed).choice(n, size=500, p=p)
+    actual = CdfSampler(p).sample(np.random.default_rng(seed), 500)
+    np.testing.assert_array_equal(actual, expected)
+
+
+@given(
+    num_vertices=st.integers(1, 300),
+    num_edges=st.integers(0, 2000),
+    seed=st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=50, deadline=None)
+def test_from_edges_matches_legacy_argsort_build(num_vertices, num_edges, seed):
+    """Counting-sort CSR build: same indptr, same (stable) indices order,
+    duplicates preserved."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, num_vertices, size=num_edges)
+    dst = rng.integers(0, num_vertices, size=num_edges)
+    graph = CSRGraph.from_edges(num_vertices, src, dst)
+    indptr, indices = legacy_from_edges(num_vertices, src, dst)
+    np.testing.assert_array_equal(graph.indptr, indptr)
+    np.testing.assert_array_equal(graph.indices, indices)
+
+
+def test_from_edges_rejects_out_of_range_endpoints():
+    with pytest.raises(ValueError):
+        CSRGraph.from_edges(3, np.array([0, 3]), np.array([1, 2]))
+    with pytest.raises(ValueError):
+        CSRGraph.from_edges(3, np.array([0, 1]), np.array([1, -1]))
+
+
+@given(
+    num_vertices=st.integers(1, 200),
+    num_edges=st.integers(0, 1500),
+    frontier_size=st.integers(1, 60),
+    seed=st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=50, deadline=None)
+def test_expand_matches_legacy_repeat_gather(
+    num_vertices, num_edges, frontier_size, seed
+):
+    """The cumsum-trick expand returns the identical neighbour sequence —
+    including through zero-degree frontier vertices."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, num_vertices, size=num_edges)
+    dst = rng.integers(0, num_vertices, size=num_edges)
+    graph = CSRGraph.from_edges(num_vertices, src, dst)
+    frontier = np.unique(
+        rng.integers(0, num_vertices, size=min(frontier_size, num_vertices))
+    )
+    np.testing.assert_array_equal(
+        graph.expand(frontier), legacy_expand(graph, frontier)
+    )
+
+
+def test_expand_zero_degree_frontier_vertices():
+    # Vertex 1 has no out-edges; the slice-jump scatter must not collide.
+    graph = CSRGraph.from_edges(
+        4, np.array([0, 0, 2, 3, 3]), np.array([1, 2, 3, 0, 1])
+    )
+    frontier = np.array([0, 1, 2, 3], dtype=np.int64)
+    np.testing.assert_array_equal(
+        graph.expand(frontier), legacy_expand(graph, frontier)
+    )
+    np.testing.assert_array_equal(
+        graph.expand(np.array([1])), np.empty(0, dtype=np.int64)
+    )
+
+
+@given(n=st.integers(2000, 60000), seed=st.integers(0, 1000))
+@settings(max_examples=8, deadline=None)
+def test_social_network_matches_legacy_generator(n, seed):
+    """Generator + CSR build end to end: identical graph arrays."""
+    new = social_network(n, seed=seed)
+    old = legacy_social_network(n, seed=seed)
+    np.testing.assert_array_equal(new.indptr, old.indptr)
+    np.testing.assert_array_equal(new.indices, old.indices)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end stream differentials over (scale, seed, source)
+# ---------------------------------------------------------------------------
+
+@given(
+    workload_cls=st.sampled_from([SocialBFS, RoadBFS]),
+    scale=st.sampled_from([0.0005, 0.001, 0.002]),
+    seed=st.integers(0, 100),
+    source=st.integers(0, 10**6),
+)
+@settings(max_examples=10, deadline=None)
+def test_bfs_stream_digest_matches_legacy_driver(
+    workload_cls, scale, seed, source
+):
+    """Scan-free BFS emits a bit-identical launch stream to the original
+    per-level-scan driver running on the legacy-built graph."""
+    workload = workload_cls(scale=scale, seed=seed, source=source)
+    if workload_cls is SocialBFS:
+        graph = legacy_social_network(workload._num_vertices(), seed=seed)
+    else:
+        # The road generator only changed its CSR build; rebuilding via
+        # the production path plus legacy_from_edges would duplicate the
+        # generator, and test_from_edges_* already proves that build is
+        # identical — so reuse the production graph here.
+        graph = workload._build_graph()
+    legacy = legacy_launch_stream(workload, graph)
+    current = workload.launch_stream()
+    assert len(current) == len(legacy)
+    assert launch_stream_digest(current) == launch_stream_digest(legacy)
+
+
+def test_all_cactus_stream_digests_match_pinned_fixture():
+    """Every Cactus workload, laptop preset: digest unchanged vs the
+    fixture captured from the pre-vectorization implementation."""
+    from repro.core.config import LAPTOP_SCALE
+
+    pinned = json.loads(DIGEST_FIXTURE.read_text())["presets"]["laptop"]
+    profiler = Profiler()
+    for abbr, reference in sorted(pinned.items()):
+        workload = get_workload(
+            abbr, scale=LAPTOP_SCALE.for_workload(abbr), seed=0
+        )
+        stream = profiler.prepare_stream(workload)
+        assert len(stream) == reference["launches"], abbr
+        assert launch_stream_digest(stream) == reference["digest"], abbr
+
+
+# ---------------------------------------------------------------------------
+# Alias sampler (public API; distribution-equivalent, not stream-compatible)
+# ---------------------------------------------------------------------------
+
+def test_alias_table_matches_distribution():
+    rng = np.random.default_rng(3)
+    p = rng.random(50)
+    p /= p.sum()
+    draws = AliasTable(p).sample(np.random.default_rng(7), 200_000)
+    empirical = np.bincount(draws, minlength=50) / draws.size
+    # Total-variation distance shrinks as 1/sqrt(samples); 0.01 is ~10x
+    # the expected statistical noise here.
+    assert 0.5 * np.abs(empirical - p).sum() < 0.01
+
+
+def test_alias_table_is_seed_deterministic():
+    p = np.arange(1, 20, dtype=np.float64)
+    a = AliasTable(p).sample(np.random.default_rng(11), 1000)
+    b = AliasTable(p).sample(np.random.default_rng(11), 1000)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_samplers_reject_bad_probabilities():
+    for cls in (CdfSampler, AliasTable):
+        with pytest.raises(ValueError):
+            cls(np.array([]))
+        with pytest.raises(ValueError):
+            cls(np.array([0.5, -0.1]))
+        with pytest.raises(ValueError):
+            cls(np.array([0.0, 0.0]))
+
+
+def test_social_network_alias_sampler_option():
+    alias_graph = social_network(5000, seed=1, endpoint_sampler="alias")
+    guide_graph = social_network(5000, seed=1)
+    assert alias_graph.num_vertices == guide_graph.num_vertices
+    # Same edge budget and broadly the same degree mass, but a different
+    # uniform->vertex mapping: the graphs must differ.
+    assert abs(alias_graph.num_edges - guide_graph.num_edges) < 0.02 * guide_graph.num_edges
+    assert not (
+        alias_graph.num_edges == guide_graph.num_edges
+        and np.array_equal(alias_graph.indices, guide_graph.indices)
+    )
+    with pytest.raises(ValueError):
+        social_network(100, endpoint_sampler="bogus")
+
+
+# ---------------------------------------------------------------------------
+# Satellites: registry TypeError, tractability warning
+# ---------------------------------------------------------------------------
+
+def test_get_workload_rejects_workload_instances():
+    workload = get_workload("GST", scale=0.001)
+    with pytest.raises(TypeError, match="abbreviation string"):
+        get_workload(workload)
+    with pytest.raises(TypeError, match="abbreviation string"):
+        get_workload(42)
+
+
+def test_graph_workload_warns_above_tractability_threshold():
+    # The implicit scale=1.0 default builds the full 21M-vertex paper
+    # graph; instantiation (not traversal) must warn.
+    with pytest.warns(UserWarning, match="tractability threshold"):
+        SocialBFS()
+    with pytest.warns(UserWarning, match="tractability threshold"):
+        RoadBFS(scale=1.0)
+
+
+def test_graph_workload_silent_below_threshold():
+    import warnings as _warnings
+
+    for cls in (SocialBFS, RoadBFS):
+        # PAPER_SCALE graph scale and the CLI's characterize default are
+        # both routine surfaces; neither may warn.
+        for scale in (0.05, 0.25):
+            workload = cls(scale=scale)
+            assert workload._num_vertices() <= TRACTABLE_VERTICES
+            with _warnings.catch_warnings():
+                _warnings.simplefilter("error")
+                cls(scale=scale)
+
+
+def test_tractability_threshold_above_paper_scale_graphs():
+    from repro.core.config import PAPER_SCALE
+
+    for cls in (SocialBFS, RoadBFS):
+        abbr = cls(scale=0.001).abbr
+        scaled = cls(scale=PAPER_SCALE.for_workload(abbr))
+        assert scaled._num_vertices() <= TRACTABLE_VERTICES
+
+
+def test_gunrock_bfs_base_hooks_are_abstract():
+    with pytest.raises(NotImplementedError):
+        GunrockBFS(scale=0.001)
