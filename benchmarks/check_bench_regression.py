@@ -1,0 +1,209 @@
+"""Benchmark-regression gate: fresh BENCH_pipeline.json vs the baseline.
+
+Compares a freshly generated hot-path benchmark report (see
+``bench_pipeline_hotpaths.py``) against the committed
+``benchmarks/BENCH_baseline.json`` and fails **only on gross
+slowdowns**: a workload (or the combined total) must exceed the
+baseline by more than ``--tolerance`` (default 1.5x) *and* by more than
+``--min-seconds`` (default 0.1s) before it counts.  The double
+threshold keeps the gate honest on CI: shared runners are noisy, and
+sub-100ms stage timings swing far more than 1.5x for free.
+
+Speedups, new workloads, and workloads missing from the baseline are
+reported but never fail the check.
+
+Re-baselining
+-------------
+
+When a legitimate change moves the numbers (an optimization landed, a
+workload's scale changed), regenerate the baseline on a quiet machine
+and commit it::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline_hotpaths.py \
+        --preset observation --output benchmarks/BENCH_baseline.json
+
+Review the diff like code: every per-workload delta should be
+explainable by the change you are landing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = Path(__file__).parent / "BENCH_baseline.json"
+
+DEFAULT_TOLERANCE = 1.5
+DEFAULT_MIN_SECONDS = 0.1
+
+
+def load_report(path: Path) -> Dict:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if "workloads" not in payload:
+        raise ValueError(f"{path} is not a BENCH_pipeline report")
+    return payload
+
+
+def compare(
+    baseline: Dict,
+    fresh: Dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> List[str]:
+    """Regression messages (empty list = gate passes).
+
+    A timing regresses when ``fresh > baseline * tolerance`` AND
+    ``fresh - baseline > min_seconds``; everything else — speedups,
+    small absolute drifts, workloads absent from either side — is
+    informational only.
+    """
+    if baseline.get("preset") != fresh.get("preset"):
+        return [
+            f"preset mismatch: baseline is {baseline.get('preset')!r}, "
+            f"fresh run is {fresh.get('preset')!r} — regenerate the "
+            f"baseline (see module docstring)"
+        ]
+
+    regressions: List[str] = []
+
+    def check(label: str, base_s: float, fresh_s: float) -> None:
+        if fresh_s > base_s * tolerance and fresh_s - base_s > min_seconds:
+            regressions.append(
+                f"{label}: {fresh_s:.3f}s vs baseline {base_s:.3f}s "
+                f"({fresh_s / base_s:.2f}x, tolerance {tolerance:.2f}x)"
+            )
+
+    base_workloads = baseline.get("workloads", {})
+    fresh_workloads = fresh.get("workloads", {})
+    shared_base = shared_fresh = 0.0
+    for abbr, entry in fresh_workloads.items():
+        reference = base_workloads.get(abbr)
+        if reference is None:
+            continue  # new workload: informational, never gating
+        check(f"{abbr} total", reference["total_s"], entry["total_s"])
+        shared_base += float(reference["total_s"])
+        shared_fresh += float(entry["total_s"])
+
+    # Combined total over the *shared* workload set only, so adding or
+    # removing a workload never masquerades as a timing change.
+    check("combined total (shared workloads)", shared_base, shared_fresh)
+    return regressions
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "fresh", type=Path,
+        help="freshly generated BENCH_pipeline.json to check",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help=f"committed baseline report (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="slowdown ratio that counts as a regression "
+        f"(default: {DEFAULT_TOLERANCE}x)",
+    )
+    parser.add_argument(
+        "--min-seconds", type=float, default=DEFAULT_MIN_SECONDS,
+        help="absolute slowdown floor below which nothing gates "
+        f"(default: {DEFAULT_MIN_SECONDS}s)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(
+            f"no baseline at {args.baseline} — skipping the regression "
+            f"gate (commit one to enable it; see module docstring)",
+        )
+        return 0
+
+    baseline = load_report(args.baseline)
+    fresh = load_report(args.fresh)
+
+    shared = sorted(
+        set(baseline.get("workloads", {})) & set(fresh.get("workloads", {}))
+    )
+    for abbr in shared:
+        base_s = baseline["workloads"][abbr]["total_s"]
+        fresh_s = fresh["workloads"][abbr]["total_s"]
+        ratio = fresh_s / base_s if base_s else float("inf")
+        print(
+            f"{abbr:<5} baseline {base_s:7.3f}s  fresh {fresh_s:7.3f}s  "
+            f"({ratio:5.2f}x)"
+        )
+
+    regressions = compare(
+        baseline, fresh, tolerance=args.tolerance,
+        min_seconds=args.min_seconds,
+    )
+    if regressions:
+        print("\nFAIL: gross benchmark regressions:", file=sys.stderr)
+        for message in regressions:
+            print(f"  {message}", file=sys.stderr)
+        print(
+            "\nIf this slowdown is expected, re-baseline (see "
+            "benchmarks/check_bench_regression.py docstring).",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"\nbenchmark gate passed: {len(shared)} workload(s) within "
+        f"{args.tolerance:.2f}x of baseline"
+    )
+    return 0
+
+
+# -- pytest coverage of the gate logic (no subprocess, no timing) ------
+def _report(preset: str, totals: Dict[str, float]) -> Dict:
+    return {
+        "schema": 1,
+        "preset": preset,
+        "workloads": {
+            abbr: {"total_s": seconds} for abbr, seconds in totals.items()
+        },
+        "combined_total_s": sum(totals.values()),
+    }
+
+
+def test_within_tolerance_passes():
+    baseline = _report("observation", {"GMS": 1.0, "GST": 0.5})
+    fresh = _report("observation", {"GMS": 1.4, "GST": 0.7})
+    assert compare(baseline, fresh) == []
+
+
+def test_gross_slowdown_fails():
+    baseline = _report("observation", {"GMS": 1.0})
+    fresh = _report("observation", {"GMS": 1.8})
+    messages = compare(baseline, fresh)
+    assert len(messages) == 2  # the workload and the combined total
+    assert "GMS total" in messages[0]
+
+
+def test_tiny_absolute_slowdowns_never_gate():
+    # 10x slower but only 9ms absolute: below the floor, not a failure.
+    baseline = _report("observation", {"GRU": 0.001})
+    fresh = _report("observation", {"GRU": 0.010})
+    assert compare(baseline, fresh) == []
+
+
+def test_speedups_and_new_workloads_pass():
+    baseline = _report("observation", {"GMS": 2.0})
+    fresh = _report("observation", {"GMS": 0.5, "NEW": 9.9})
+    assert compare(baseline, fresh) == []
+
+
+def test_preset_mismatch_fails():
+    baseline = _report("observation", {"GMS": 1.0})
+    fresh = _report("laptop", {"GMS": 1.0})
+    messages = compare(baseline, fresh)
+    assert len(messages) == 1 and "preset mismatch" in messages[0]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

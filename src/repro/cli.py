@@ -121,9 +121,10 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Cactus (IISWC 2021) reproduction pipeline",
         epilog=(
             "Environment: REPRO_CACHE_DIR, REPRO_JOBS, REPRO_RETRIES, "
-            "REPRO_TIMEOUT and REPRO_JOURNAL_DIR provide defaults for "
-            "the matching flags; an explicit flag always overrides its "
-            "environment variable. Failure semantics: suite commands "
+            "REPRO_TIMEOUT, REPRO_JOURNAL_DIR and REPRO_TRACE_DIR "
+            "provide defaults for the matching flags; an explicit flag "
+            "always overrides its environment variable. "
+            "Failure semantics: suite commands "
             "keep going past failed workloads by default (failures are "
             "listed on stderr, aggregates cover the survivors, exit "
             "code 0); --strict makes any workload failure abort with a "
@@ -199,6 +200,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "and skips finished workloads (default: $REPRO_JOURNAL_DIR, "
         "else no journal)",
     )
+    trace_mode = parser.add_mutually_exclusive_group()
+    trace_mode.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="PATH",
+        help="write a run-scoped observability log under PATH: an "
+        "append-only events.jsonl plus a Chrome/Perfetto trace.json "
+        "(default: $REPRO_TRACE_DIR, else tracing off)",
+    )
+    trace_mode.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="disable trace output even when $REPRO_TRACE_DIR is set",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list registered workloads")
@@ -261,6 +276,20 @@ def _print_cache_stats(cache: Optional[ResultCache]) -> None:
         print(f"[cache] {cache.stats.render()}", file=sys.stderr)
 
 
+def _print_trace_dir(*reports) -> None:
+    """Point at the run's trace artifacts on stderr (once per dir)."""
+    seen = set()
+    for report in reports:
+        trace_dir = getattr(report, "trace_dir", None)
+        if trace_dir and trace_dir not in seen:
+            seen.add(trace_dir)
+            print(
+                f"[trace] events.jsonl and trace.json written under "
+                f"{trace_dir}",
+                file=sys.stderr,
+            )
+
+
 def _print_failures(*reports) -> int:
     """List workload failures on stderr; return how many there were."""
     count = 0
@@ -291,6 +320,7 @@ def _cmd_table1(run_kwargs) -> int:
     print(render_table1(rows))
     _print_failures(result)
     _print_cache_stats(run_kwargs["cache"])
+    _print_trace_dir(result)
     return 0
 
 
@@ -310,6 +340,7 @@ def _cmd_observations(run_kwargs) -> int:
         return 1 if failed else 0
     print(report.render())
     _print_cache_stats(run_kwargs["cache"])
+    _print_trace_dir(cactus, prt)
     return 0 if report.passed >= 11 else 1
 
 
@@ -331,6 +362,7 @@ def _cmd_report(output: Optional[str], with_prt: bool, run_kwargs) -> int:
         print(f"wrote {output}")
     else:
         print(text)
+    _print_trace_dir(cactus, prt)
     return 0
 
 
@@ -350,6 +382,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.cache_dir is not None and os.path.exists(args.cache_dir) \
             and not os.path.isdir(args.cache_dir):
         parser.error(f"--cache-dir: not a directory: {args.cache_dir}")
+    # Flag > environment; --no-trace silences both (they are mutually
+    # exclusive at the argparse level, so --no-trace always means the
+    # environment default is being refused).
+    trace_dir = args.trace_dir
+    if trace_dir is None and not args.no_trace:
+        trace_dir = os.environ.get("REPRO_TRACE_DIR") or None
+    if trace_dir is not None and os.path.exists(trace_dir) \
+            and not os.path.isdir(trace_dir):
+        parser.error(f"--trace-dir: not a directory: {trace_dir}")
     if args.timeout is not None and (args.jobs is None or args.jobs in (0, 1)):
         print(
             "repro: warning: --timeout has no effect on the serial path "
@@ -371,6 +412,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ),
         "keep_going": not args.strict,
         "journal_dir": args.journal_dir,
+        "trace_dir": trace_dir,
     }
     if args.command == "list":
         return _cmd_list()

@@ -26,6 +26,10 @@ from repro.core.resilience import (
     WorkloadFailure,
     classify_exception,
 )
+from repro.core.serialize import (
+    suite_run_report_from_dict,
+    suite_run_report_to_dict,
+)
 from repro.core.suite import SuiteResult, SuiteRunReport, run_suite
 
 __all__ = [
@@ -51,4 +55,6 @@ __all__ = [
     "SuiteResult",
     "SuiteRunReport",
     "run_suite",
+    "suite_run_report_from_dict",
+    "suite_run_report_to_dict",
 ]

@@ -106,6 +106,13 @@ class ResultCache:
     cache_dir: Optional[Path] = None
     max_memory_entries: int = 4096
     stats: CacheStats = field(default_factory=CacheStats)
+    #: Optional run-scoped tracer (see :mod:`repro.obs`): every get/put
+    #: also bumps ``cache.*`` run metrics and, when an event log is
+    #: attached, emits a ``cache.get``/``cache.put`` event.  Pure
+    #: observation — hit/miss behavior and payloads are untouched.
+    tracer: Optional[Any] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         # An empty string (e.g. REPRO_CACHE_DIR="") means "no disk tier",
@@ -131,6 +138,17 @@ class ResultCache:
             return None
         return root / key[:2] / f"{key}.json"
 
+    # -- observability -------------------------------------------------
+    def _observe(self, op: str, key: str, outcome: str) -> None:
+        """Mirror one cache operation into the run-scoped tracer."""
+        tracer = self.tracer
+        if tracer is None:
+            return
+        tracer.incr(f"cache.{outcome}")
+        tracer.event(
+            f"cache.{op}", category="cache", key=key[:16], outcome=outcome
+        )
+
     # -- core API ------------------------------------------------------
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """Payload stored under *key*, or ``None`` on a miss."""
@@ -138,6 +156,7 @@ class ResultCache:
         if payload is not None:
             self._memory.move_to_end(key)
             self.stats.memory_hits += 1
+            self._observe("get", key, "memory_hits")
             return payload
         path = self._path(key)
         if path is not None:
@@ -159,14 +178,17 @@ class ResultCache:
                 payload = None
             if payload is not None:
                 self.stats.disk_hits += 1
+                self._observe("get", key, "disk_hits")
                 self._remember(key, payload)
                 return payload
         self.stats.misses += 1
+        self._observe("get", key, "misses")
         return None
 
     def _quarantine(self, path: Path) -> None:
         """Move a corrupt entry aside into ``<cache_dir>/corrupt/``."""
         self.stats.corrupt += 1
+        self._observe("quarantine", path.stem, "corrupt")
         quarantine_dir = self.cache_dir / "corrupt"
         try:
             quarantine_dir.mkdir(parents=True, exist_ok=True)
@@ -182,6 +204,7 @@ class ResultCache:
     def put(self, key: str, payload: Dict[str, Any]) -> None:
         """Store *payload* under *key* in both tiers."""
         self.stats.stores += 1
+        self._observe("put", key, "stores")
         self._remember(key, payload)
         path = self._path(key)
         if path is None:

@@ -75,6 +75,7 @@ def characterize(
     device: DeviceSpec = RTX_3080,
     profiler: Optional[Profiler] = None,
     cache: Optional["ResultCache"] = None,
+    tracer=None,
 ) -> Characterization:
     """Run the full per-workload characterization pipeline.
 
@@ -82,45 +83,59 @@ def characterize(
     of ``(device, simulation options, launch-stream digest)`` — a warm
     hit skips the simulation and every analysis step and deserializes a
     result that compares equal to a fresh computation.
+
+    *tracer* (see :mod:`repro.obs`) wraps each phase — ``stream-gen``,
+    ``cache-lookup``, ``simulate``, ``analyze``, ``cache-store`` — in a
+    span.  Pure observation: the stream, the cache key, and the result
+    are bit-for-bit identical with tracing on or off.
     """
+    from repro.obs import NULL_TRACER
+
+    tracer = tracer or NULL_TRACER
     profiler = profiler or Profiler(
         simulator=GPUSimulator(device, cache=cache)
     )
-    if cache is None:
-        return build_characterization(
-            workload.abbr, profiler.profile(workload), device
+    abbr = workload.abbr
+    with tracer.span("stream-gen", category="phase", workload=abbr) as sp:
+        stream = profiler.prepare_stream(workload)
+        sp.set_attr("launches", len(stream))
+
+    key: Optional[str] = None
+    if cache is not None:
+        from repro.core.cache import characterization_key
+        from repro.core.serialize import characterization_from_dict
+
+        key = characterization_key(
+            device,
+            profiler.simulator.options,
+            {
+                "name": workload.name,
+                "abbr": workload.abbr,
+                "suite": workload.suite,
+                "domain": workload.domain,
+            },
+            stream,
         )
+        with tracer.span("cache-lookup", category="phase", workload=abbr):
+            payload = cache.get(key)
+        if payload is not None:
+            try:
+                return characterization_from_dict(payload)
+            except (KeyError, TypeError, ValueError):
+                pass  # schema-corrupt entry → recompute and rewrite below
 
-    from repro.core.cache import characterization_key
-    from repro.core.serialize import (
-        characterization_from_dict,
-        characterization_to_dict,
-    )
+    with tracer.span("simulate", category="phase", workload=abbr):
+        profile = profiler.profile_launches(
+            stream,
+            workload=workload.name,
+            suite=workload.suite,
+            domain=workload.domain,
+        )
+    with tracer.span("analyze", category="phase", workload=abbr):
+        result = build_characterization(workload.abbr, profile, device)
+    if cache is not None and key is not None:
+        from repro.core.serialize import characterization_to_dict
 
-    stream = profiler.prepare_stream(workload)
-    key = characterization_key(
-        device,
-        profiler.simulator.options,
-        {
-            "name": workload.name,
-            "abbr": workload.abbr,
-            "suite": workload.suite,
-            "domain": workload.domain,
-        },
-        stream,
-    )
-    payload = cache.get(key)
-    if payload is not None:
-        try:
-            return characterization_from_dict(payload)
-        except (KeyError, TypeError, ValueError):
-            pass  # schema-corrupt entry → recompute and rewrite below
-    profile = profiler.profile_launches(
-        stream,
-        workload=workload.name,
-        suite=workload.suite,
-        domain=workload.domain,
-    )
-    result = build_characterization(workload.abbr, profile, device)
-    cache.put(key, characterization_to_dict(result))
+        with tracer.span("cache-store", category="phase", workload=abbr):
+            cache.put(key, characterization_to_dict(result))
     return result

@@ -61,6 +61,7 @@ from repro.core.resilience import (
 from repro.gpu.device import RTX_3080, DeviceSpec
 from repro.gpu.digest import CACHE_SCHEMA_VERSION, stable_digest
 from repro.gpu.simulator import GPUSimulator, SimulationOptions
+from repro.obs import NULL_TRACER, ObsSession, TraceHandoff, Tracer, worker_tracer
 from repro.profiler.profiler import Profiler
 from repro.workloads.registry import get_workload, list_workloads
 
@@ -90,7 +91,8 @@ def _characterize_one(
     cache_dir: Optional[str],
     attempt: int = 1,
     fault_plan: Optional["FaultPlan"] = None,
-) -> Tuple[str, Characterization, CacheStats]:
+    handoff: Optional[TraceHandoff] = None,
+) -> Tuple[str, Characterization, CacheStats, Optional[dict]]:
     """Worker body: characterize one workload from its identity.
 
     Module-level (picklable) so it can run inside a process pool; each
@@ -98,21 +100,49 @@ def _characterize_one(
     writes are atomic, so concurrent workers can share it safely.  The
     optional *fault_plan* hooks are strict no-ops when the plan is
     empty (the fault-free differential test pins this).
+
+    *handoff* (see :mod:`repro.obs`) roots this attempt's spans under
+    the parent's suite span and — when tracing is enabled — appends
+    them to this worker's own ``events-<pid>.jsonl``.  The worker's
+    metrics snapshot rides back on the result tuple; a failed attempt
+    still flushes its error span before the exception crosses the pool
+    boundary.
     """
+    tracer = worker_tracer(handoff)
     cache = ResultCache(cache_dir=cache_dir) if cache_dir else None
-    if fault_plan is not None:
-        fault_plan.before(abbr, attempt)
-    profiler = Profiler(
-        simulator=GPUSimulator(device, options=options, cache=cache)
-    )
-    workload = get_workload(abbr, scale=scale, seed=seed)
-    result = characterize(
-        workload, device=device, profiler=profiler, cache=cache
-    )
-    if fault_plan is not None:
-        result = fault_plan.after(abbr, attempt, result, cache)
+    if cache is not None:
+        cache.tracer = tracer
+    try:
+        with tracer.span(
+            "attempt",
+            category="workload",
+            workload=abbr,
+            attempt=attempt,
+            mode="pool",
+        ):
+            if fault_plan is not None:
+                fault_plan.before(abbr, attempt)
+            profiler = Profiler(
+                simulator=GPUSimulator(
+                    device, options=options, cache=cache, tracer=tracer
+                )
+            )
+            workload = get_workload(abbr, scale=scale, seed=seed)
+            result = characterize(
+                workload,
+                device=device,
+                profiler=profiler,
+                cache=cache,
+                tracer=tracer,
+            )
+            if fault_plan is not None:
+                result = fault_plan.after(abbr, attempt, result, cache)
+    finally:
+        if tracer.sink is not None:
+            tracer.sink.close()
+    snapshot = tracer.metrics.snapshot() if tracer.metrics else None
     stats = cache.stats if cache is not None else CacheStats()
-    return abbr, result, stats
+    return abbr, result, stats, snapshot
 
 
 @dataclass
@@ -159,6 +189,12 @@ class CharacterizationEngine:
     fault_plan:
         Deterministic fault-injection plan (testing only); ``None`` and
         an empty plan are strict no-ops.
+    trace_dir:
+        Optional observability directory (see :mod:`repro.obs`): suite
+        runs append a JSONL event log there and export a Chrome/
+        Perfetto trace on completion.  Run metrics (``run_profile`` on
+        the report) are collected either way; with ``trace_dir=None``
+        no file is ever touched.
     """
 
     device: DeviceSpec = RTX_3080
@@ -169,6 +205,7 @@ class CharacterizationEngine:
     keep_going: bool = False
     journal_dir: Optional[str] = None
     fault_plan: Optional["FaultPlan"] = None
+    trace_dir: Optional[str] = None
 
     # -- single workload ----------------------------------------------
     def characterize(self, workload) -> Characterization:
@@ -231,40 +268,92 @@ class CharacterizationEngine:
         jobs = _resolve_jobs(self.jobs)
         report = SuiteRunReport(device=self.device, preset=preset)
 
-        journal: Optional[RunJournal] = None
-        completed: Dict[str, Characterization] = {}
-        if self.journal_dir is not None:
-            journal = RunJournal(
-                self.journal_dir, self.run_key(preset, selected)
-            )
-            completed = journal.begin(selected)
-            report.resumed = [a for a in selected if a in completed]
+        session = ObsSession(self.trace_dir)
+        self._session = session
+        restore_cache_tracer = False
+        if self.cache is not None and self.cache.tracer is None:
+            # Serial-path and in-process cache traffic count toward this
+            # run's metrics; detached again before returning.
+            self.cache.tracer = session.tracer
+            restore_cache_tracer = True
+        try:
+            with session.tracer.span(
+                "suite-run",
+                category="suite",
+                suites=list(suites),
+                preset=preset.name,
+                jobs=jobs,
+                selected=len(selected),
+            ):
+                journal: Optional[RunJournal] = None
+                completed: Dict[str, Characterization] = {}
+                if self.journal_dir is not None:
+                    journal = RunJournal(
+                        self.journal_dir,
+                        self.run_key(preset, selected),
+                        tracer=session.tracer,
+                    )
+                    completed = journal.begin(selected)
+                    report.resumed = [a for a in selected if a in completed]
 
-        remaining = [a for a in selected if a not in completed]
-        outcome = _ExecutionOutcome(results=dict(completed))
-        if remaining:
-            if jobs > 1:
-                self._run_parallel(remaining, preset, jobs, journal, outcome)
-                remaining = [
-                    a for a in remaining if a not in outcome.resolved
-                ]
-            if remaining:  # serial path, or parallel degraded mid-run
-                self._run_serial(remaining, preset, journal, outcome)
+                remaining = [a for a in selected if a not in completed]
+                outcome = _ExecutionOutcome(results=dict(completed))
+                if remaining:
+                    if jobs > 1:
+                        self._run_parallel(
+                            remaining, preset, jobs, journal, outcome
+                        )
+                        remaining = [
+                            a for a in remaining if a not in outcome.resolved
+                        ]
+                    if remaining:  # serial path, or parallel degraded mid-run
+                        self._run_serial(remaining, preset, journal, outcome)
 
-        for abbr in selected:
-            if abbr in outcome.results:
-                report.results[abbr] = outcome.results[abbr]
-        order = {abbr: idx for idx, abbr in enumerate(selected)}
-        report.failures = sorted(
-            outcome.failures, key=lambda f: order.get(f.abbr, len(order))
-        )
-        report.attempts = dict(outcome.attempts)
-        report.fallback_reason = outcome.fallback_reason
-        if journal is not None:
-            journal.finish(ok=not report.failures)
+                for abbr in selected:
+                    if abbr in outcome.results:
+                        report.results[abbr] = outcome.results[abbr]
+                order = {abbr: idx for idx, abbr in enumerate(selected)}
+                report.failures = sorted(
+                    outcome.failures,
+                    key=lambda f: order.get(f.abbr, len(order)),
+                )
+                report.attempts = dict(outcome.attempts)
+                report.fallback_reason = outcome.fallback_reason
+                session.tracer.incr(
+                    "engine.workloads_completed",
+                    float(len(outcome.results) - len(completed)),
+                )
+                session.tracer.incr(
+                    "engine.workloads_failed", float(len(report.failures))
+                )
+                if journal is not None:
+                    journal.finish(ok=not report.failures)
+        finally:
+            if restore_cache_tracer and self.cache is not None:
+                self.cache.tracer = None
+            # The profile and trace ride on the report even when the
+            # run failed (strict mode re-raises below with the report
+            # attached) — a failed run is exactly when you want them.
+            report.run_profile = session.run_profile()
+            session.finalize()
+            if session.tracing and session.trace_dir is not None:
+                report.trace_dir = str(session.trace_dir)
+            self._session = None
+
         if report.failures and not self.keep_going:
             raise SuiteRunError(report, report.failures)
         return report
+
+    # -- observability access ------------------------------------------
+    @property
+    def _obs(self) -> Optional[ObsSession]:
+        """The live run's observability session (None outside a run)."""
+        return getattr(self, "_session", None)
+
+    @property
+    def _tracer(self) -> Tracer:
+        session = self._obs
+        return session.tracer if session is not None else NULL_TRACER
 
     # -- execution strategies ------------------------------------------
     def _record_success(
@@ -275,11 +364,14 @@ class CharacterizationEngine:
         result: Characterization,
         stats: Optional[CacheStats],
         attempts: int,
+        snapshot: Optional[dict] = None,
     ) -> None:
         outcome.results[abbr] = result
         outcome.attempts[abbr] = attempts
         if stats is not None and self.cache is not None:
             self.cache.stats.merge(stats)
+        if snapshot is not None and self._obs is not None:
+            self._obs.absorb(snapshot)
         if journal is not None:
             journal.mark_done(abbr, result, attempts=attempts)
 
@@ -298,9 +390,13 @@ class CharacterizationEngine:
         ``retry_policy.timeout_s`` only applies on the pool path.
         """
         policy = self.retry_policy
+        tracer = self._tracer
         profiler = Profiler(
             simulator=GPUSimulator(
-                self.device, options=self.options, cache=self.cache
+                self.device,
+                options=self.options,
+                cache=self.cache,
+                tracer=tracer,
             )
         )
         for abbr in selected:
@@ -309,26 +405,44 @@ class CharacterizationEngine:
             while True:
                 attempt += 1
                 try:
-                    if self.fault_plan is not None:
-                        self.fault_plan.before(abbr, attempt)
-                    workload = get_workload(
-                        abbr,
-                        scale=preset.for_workload(abbr),
-                        seed=preset.seed,
-                    )
-                    result = characterize(
-                        workload,
-                        device=self.device,
-                        profiler=profiler,
-                        cache=self.cache,
-                    )
-                    if self.fault_plan is not None:
-                        result = self.fault_plan.after(
-                            abbr, attempt, result, self.cache
+                    with tracer.span(
+                        "attempt",
+                        category="workload",
+                        workload=abbr,
+                        attempt=attempt,
+                        mode="serial",
+                    ):
+                        if self.fault_plan is not None:
+                            self.fault_plan.before(abbr, attempt)
+                        workload = get_workload(
+                            abbr,
+                            scale=preset.for_workload(abbr),
+                            seed=preset.seed,
                         )
+                        result = characterize(
+                            workload,
+                            device=self.device,
+                            profiler=profiler,
+                            cache=self.cache,
+                            tracer=tracer,
+                        )
+                        if self.fault_plan is not None:
+                            result = self.fault_plan.after(
+                                abbr, attempt, result, self.cache
+                            )
                 except Exception as exc:
                     if policy.should_retry(exc, attempt):
-                        time.sleep(policy.backoff_s(abbr, attempt))
+                        delay = policy.backoff_s(abbr, attempt)
+                        tracer.event(
+                            "retry",
+                            category="resilience",
+                            workload=abbr,
+                            attempt=attempt,
+                            sleep_s=delay,
+                            error=type(exc).__name__,
+                        )
+                        tracer.incr("engine.retries")
+                        time.sleep(delay)
                         continue
                     outcome.failures.append(
                         WorkloadFailure.from_exception(
@@ -390,6 +504,8 @@ class CharacterizationEngine:
         of a pool kill are resubmitted under the same attempt number.
         """
         policy = self.retry_policy
+        tracer = self._tracer
+        session = self._obs
         cache_dir = self._cache_dir_arg()
         try:
             pool = self._new_pool(jobs, len(selected))
@@ -397,6 +513,12 @@ class CharacterizationEngine:
             outcome.fallback_reason = (
                 f"process pool unavailable: {type(exc).__name__}: {exc}"
             )
+            tracer.event(
+                "pool.fallback-serial",
+                category="resilience",
+                reason=outcome.fallback_reason,
+            )
+            tracer.incr("engine.pool_fallbacks")
             warnings.warn(
                 f"{outcome.fallback_reason}; falling back to serial "
                 f"execution",
@@ -415,7 +537,17 @@ class CharacterizationEngine:
 
         def submit(abbr: str):
             if attempts[abbr] and policy.backoff_base_s:
-                time.sleep(policy.backoff_s(abbr, attempts[abbr]))
+                delay = policy.backoff_s(abbr, attempts[abbr])
+                tracer.event(
+                    "retry",
+                    category="resilience",
+                    workload=abbr,
+                    attempt=attempts[abbr] + 1,
+                    sleep_s=delay,
+                    mode="pool",
+                )
+                tracer.incr("engine.retries")
+                time.sleep(delay)
             started.setdefault(abbr, time.monotonic())
             return pool.submit(
                 _characterize_one,
@@ -427,6 +559,7 @@ class CharacterizationEngine:
                 cache_dir,
                 attempts[abbr] + 1,
                 self.fault_plan,
+                session.handoff() if session is not None else None,
             )
 
         def harvest(futures: Dict[str, Future], skip: str) -> None:
@@ -435,12 +568,12 @@ class CharacterizationEngine:
                 if other == skip or other not in pending or not fut.done():
                     continue
                 try:
-                    _, result, stats = fut.result(timeout=0)
+                    _, result, stats, snapshot = fut.result(timeout=0)
                 except Exception:
                     continue  # its failure will be re-observed on resubmit
                 self._record_success(
                     outcome, journal, other, result, stats,
-                    attempts[other] + 1,
+                    attempts[other] + 1, snapshot,
                 )
                 pending.remove(other)
 
@@ -448,6 +581,10 @@ class CharacterizationEngine:
             """Replace the pool; False → caller must degrade to serial."""
             nonlocal pool
             self._kill_pool(pool)
+            tracer.event(
+                "pool.rebuild", category="resilience", reason=reason
+            )
+            tracer.incr("engine.pool_rebuilds")
             try:
                 pool = self._new_pool(jobs, max(len(pending), 1))
             except _POOL_UNAVAILABLE as exc:
@@ -455,6 +592,12 @@ class CharacterizationEngine:
                     f"pool rebuild failed after {reason}: "
                     f"{type(exc).__name__}: {exc}"
                 )
+                tracer.event(
+                    "pool.fallback-serial",
+                    category="resilience",
+                    reason=outcome.fallback_reason,
+                )
+                tracer.incr("engine.pool_fallbacks")
                 warnings.warn(
                     f"{outcome.fallback_reason}; degrading to serial "
                     f"execution",
@@ -501,6 +644,12 @@ class CharacterizationEngine:
                             f"process pool broke twice: "
                             f"{type(exc).__name__}: {exc}"
                         )
+                        tracer.event(
+                            "pool.fallback-serial",
+                            category="resilience",
+                            reason=outcome.fallback_reason,
+                        )
+                        tracer.incr("engine.pool_fallbacks")
                         warnings.warn(
                             f"{outcome.fallback_reason}; degrading to "
                             f"serial execution",
@@ -514,7 +663,7 @@ class CharacterizationEngine:
                         continue
                     fut = futures[abbr]
                     try:
-                        _, result, stats = fut.result(
+                        _, result, stats, snapshot = fut.result(
                             timeout=policy.timeout_s
                         )
                     except FuturesTimeout:
@@ -524,6 +673,14 @@ class CharacterizationEngine:
                             f"workload {abbr} exceeded the per-workload "
                             f"timeout of {policy.timeout_s}s"
                         )
+                        tracer.event(
+                            "timeout.kill",
+                            category="resilience",
+                            workload=abbr,
+                            attempt=attempts[abbr] + 1,
+                            timeout_s=policy.timeout_s,
+                        )
+                        tracer.incr("engine.timeouts")
                         harvest(futures, skip=abbr)
                         settle(abbr, timeout_exc, phase="timeout")
                         disrupted = True
@@ -548,6 +705,12 @@ class CharacterizationEngine:
                             f"process pool broke twice: "
                             f"{type(exc).__name__}: {exc}"
                         )
+                        tracer.event(
+                            "pool.fallback-serial",
+                            category="resilience",
+                            reason=outcome.fallback_reason,
+                        )
+                        tracer.incr("engine.pool_fallbacks")
                         warnings.warn(
                             f"{outcome.fallback_reason}; degrading to "
                             f"serial execution",
@@ -564,7 +727,7 @@ class CharacterizationEngine:
                         attempts[abbr] += 1
                         self._record_success(
                             outcome, journal, abbr, result, stats,
-                            attempts[abbr],
+                            attempts[abbr], snapshot,
                         )
                         pending.remove(abbr)
                 if disrupted:

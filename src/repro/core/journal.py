@@ -59,11 +59,22 @@ def _atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
 
 
 class RunJournal:
-    """Checkpoint store for one suite run identity."""
+    """Checkpoint store for one suite run identity.
 
-    def __init__(self, journal_dir, run_key: str) -> None:
+    The optional *tracer* (see :mod:`repro.obs`) emits a
+    ``journal.checkpoint`` event per completion marker plus
+    begin/finish lifecycle events, and counts checkpoints into the run
+    metrics — observation only, the on-disk format is untouched.
+    """
+
+    def __init__(self, journal_dir, run_key: str, tracer=None) -> None:
         self.journal_dir = Path(journal_dir)
         self.run_key = run_key
+        if tracer is None:
+            from repro.obs import NULL_TRACER
+
+            tracer = NULL_TRACER
+        self.tracer = tracer
 
     # -- paths ---------------------------------------------------------
     @property
@@ -101,7 +112,17 @@ class RunJournal:
             and meta.get("schema") == JOURNAL_SCHEMA_VERSION
             and meta.get("run_key") == self.run_key
         ):
-            return self._load_completed(selected)
+            completed = self._load_completed(selected)
+            self.tracer.event(
+                "journal.resume",
+                category="journal",
+                run_key=self.run_key[:16],
+                resumed=len(completed),
+            )
+            self.tracer.incr(
+                "engine.workloads_resumed", float(len(completed))
+            )
+            return completed
         # Stale or absent journal: start fresh.
         if self.done_dir.is_dir():
             shutil.rmtree(self.done_dir, ignore_errors=True)
@@ -113,6 +134,12 @@ class RunJournal:
                 "selected": selected,
                 "status": "running",
             },
+        )
+        self.tracer.event(
+            "journal.begin",
+            category="journal",
+            run_key=self.run_key[:16],
+            selected=len(selected),
         )
         return {}
 
@@ -148,6 +175,13 @@ class RunJournal:
                 "characterization": characterization_to_dict(result),
             },
         )
+        self.tracer.event(
+            "journal.checkpoint",
+            category="journal",
+            workload=abbr.upper(),
+            attempts=attempts,
+        )
+        self.tracer.incr("engine.journal_checkpoints")
 
     def completed_workloads(self) -> list:
         """Abbreviations with a completion marker on disk (sorted)."""
@@ -163,3 +197,6 @@ class RunJournal:
         }
         meta["status"] = "complete" if ok else "failed"
         _atomic_write_json(self.run_path, meta)
+        self.tracer.event(
+            "journal.finish", category="journal", status=meta["status"]
+        )

@@ -65,6 +65,78 @@ def _roofline_table(result: SuiteResult, suite: str) -> str:
     return "\n".join(lines)
 
 
+def _run_profile_section(run) -> Optional[str]:
+    """Render one run's :class:`~repro.obs.metrics.RunProfile`.
+
+    Returns ``None`` when the run carries no profile (plain
+    :class:`SuiteResult`, e.g. deserialized from an old report).
+    """
+    from repro.obs.metrics import PHASE_ORDER
+
+    profile = getattr(run, "run_profile", None)
+    if profile is None:
+        return None
+
+    lines = ["| phase | total | share | spans |", "|---|---:|---:|---:|"]
+    phase_totals = {p: profile.phase_seconds(p) for p in PHASE_ORDER}
+    grand_total = sum(phase_totals.values())
+    for phase in PHASE_ORDER:
+        total = phase_totals[phase]
+        stat = profile.histograms.get(f"span.{phase}_s", {})
+        share = total / grand_total if grand_total else 0.0
+        lines.append(
+            f"| {phase} | {total:.3f}s | {share:.1%} "
+            f"| {int(stat.get('count', 0))} |"
+        )
+
+    by_workload = profile.workload_phases()
+    if by_workload:
+        lines += [
+            "",
+            "Per-workload wall clock (all attempts):",
+            "",
+            "| workload | " + " | ".join(PHASE_ORDER) + " |",
+            "|---|" + "---:|" * len(PHASE_ORDER),
+        ]
+        for abbr in sorted(by_workload):
+            phases = by_workload[abbr]
+            cells = " | ".join(
+                f"{phases.get(p, 0.0):.3f}s" for p in PHASE_ORDER
+            )
+            lines.append(f"| {abbr} | {cells} |")
+
+    counters = [
+        f"workloads completed: {int(profile.counter('engine.workloads_completed'))}",
+        f"failed: {int(profile.counter('engine.workloads_failed'))}",
+        f"resumed: {int(profile.counter('engine.workloads_resumed'))}",
+        f"retries: {profile.retries}",
+        f"timeouts: {profile.timeouts}",
+        f"pool rebuilds: {profile.pool_rebuilds}",
+        f"journal checkpoints: {profile.journal_checkpoints}",
+    ]
+    if profile.cache_lookups:
+        counters.append(
+            f"cache hit rate: {profile.cache_hit_rate:.1%} over "
+            f"{int(profile.cache_lookups)} lookups"
+        )
+    queue = profile.histograms.get("queue.wait_s")
+    if queue and queue.get("count"):
+        mean = queue["total"] / queue["count"]
+        counters.append(
+            f"pool queue wait: mean {mean * 1e3:.1f}ms, "
+            f"max {queue['max'] * 1e3:.1f}ms over {int(queue['count'])} tasks"
+        )
+    lines += ["", "Engine counters: " + "; ".join(counters) + "."]
+
+    trace_dir = getattr(run, "trace_dir", None)
+    if trace_dir:
+        lines += [
+            "",
+            f"Trace artifacts (events.jsonl, trace.json): `{trace_dir}`.",
+        ]
+    return "\n".join(lines)
+
+
 def generate_report(
     cactus: SuiteResult,
     prt: Optional[SuiteResult] = None,
@@ -181,6 +253,14 @@ def generate_report(
                     f"({type(exc).__name__}: {exc}).",
                 )
             )
+
+    profile_section = _run_profile_section(cactus)
+    if profile_section is not None:
+        parts.append(_section("Run profile", profile_section))
+    if prt is not None:
+        prt_section = _run_profile_section(prt)
+        if prt_section is not None:
+            parts.append(_section("Run profile (PRT)", prt_section))
 
     if cache_stats is not None:
         parts.append(

@@ -128,6 +128,20 @@ class WorkloadFailure:
             "elapsed_s": self.elapsed_s,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "WorkloadFailure":
+        """Exact inverse of :meth:`as_dict` (JSON round-trip safe)."""
+        return cls(
+            abbr=payload["abbr"],
+            phase=payload["phase"],
+            error_type=payload["error_type"],
+            message=payload["message"],
+            traceback=payload["traceback"],
+            classification=payload["classification"],
+            attempts=int(payload["attempts"]),
+            elapsed_s=float(payload["elapsed_s"]),
+        )
+
 
 @dataclass(frozen=True)
 class RetryPolicy:

@@ -15,13 +15,20 @@ encoders so fixtures and cache payloads share one format.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+import dataclasses
+from typing import TYPE_CHECKING, Any, Dict, List
 
 from repro.analysis.distribution import Table1Row
 from repro.analysis.roofline import RooflinePoint
 from repro.core.characterize import Characterization
+from repro.core.config import ScalePreset
+from repro.core.resilience import WorkloadFailure
+from repro.gpu.device import DeviceSpec
 from repro.gpu.metrics import KernelMetrics
 from repro.profiler.records import ApplicationProfile, KernelProfile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.suite import SuiteRunReport
 
 
 # -- roofline points ---------------------------------------------------
@@ -119,6 +126,79 @@ def characterization_to_dict(result: Characterization) -> Dict[str, Any]:
             roofline_point_to_dict(p) for p in result.dominant_points
         ],
     }
+
+
+def device_spec_to_dict(device: DeviceSpec) -> Dict[str, Any]:
+    return dataclasses.asdict(device)
+
+
+def device_spec_from_dict(payload: Dict[str, Any]) -> DeviceSpec:
+    return DeviceSpec(**payload)
+
+
+def scale_preset_to_dict(preset: ScalePreset) -> Dict[str, Any]:
+    return dataclasses.asdict(preset)
+
+
+def scale_preset_from_dict(payload: Dict[str, Any]) -> ScalePreset:
+    return ScalePreset(**payload)
+
+
+# -- whole suite-run reports ------------------------------------------
+def suite_run_report_to_dict(report: "SuiteRunReport") -> Dict[str, Any]:
+    """Serialize a whole run report — survivors *and* failure record.
+
+    The failure/resilience fields (``failures``, ``attempts``,
+    ``fallback_reason``, ``resumed``, ``run_profile``) are first-class:
+    a report that degraded or lost workloads round-trips with its full
+    post-mortem, not just the surviving characterizations.
+    """
+    return {
+        "device": device_spec_to_dict(report.device),
+        "preset": scale_preset_to_dict(report.preset),
+        "results": {
+            abbr: characterization_to_dict(result)
+            for abbr, result in report.results.items()
+        },
+        "failures": [failure.as_dict() for failure in report.failures],
+        "attempts": dict(report.attempts),
+        "fallback_reason": report.fallback_reason,
+        "resumed": list(report.resumed),
+        "run_profile": (
+            report.run_profile.as_dict()
+            if report.run_profile is not None
+            else None
+        ),
+        "trace_dir": report.trace_dir,
+    }
+
+
+def suite_run_report_from_dict(payload: Dict[str, Any]) -> "SuiteRunReport":
+    from repro.core.suite import SuiteRunReport
+    from repro.obs.metrics import RunProfile
+
+    profile = payload.get("run_profile")
+    return SuiteRunReport(
+        device=device_spec_from_dict(payload["device"]),
+        preset=scale_preset_from_dict(payload["preset"]),
+        results={
+            abbr: characterization_from_dict(result)
+            for abbr, result in payload["results"].items()
+        },
+        failures=[
+            WorkloadFailure.from_dict(f) for f in payload.get("failures", [])
+        ],
+        attempts={
+            abbr: int(count)
+            for abbr, count in payload.get("attempts", {}).items()
+        },
+        fallback_reason=payload.get("fallback_reason"),
+        resumed=list(payload.get("resumed", [])),
+        run_profile=(
+            RunProfile.from_dict(profile) if profile is not None else None
+        ),
+        trace_dir=payload.get("trace_dir"),
+    )
 
 
 def characterization_from_dict(payload: Dict[str, Any]) -> Characterization:

@@ -13,6 +13,7 @@ from repro.workloads.registry import list_workloads
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.cache import ResultCache
+    from repro.obs import RunProfile
     from repro.testing.faults import FaultPlan
 
 
@@ -67,6 +68,13 @@ class SuiteRunReport(SuiteResult):
     fallback_reason: Optional[str] = None
     #: Workloads skipped because a journal marked them already complete.
     resumed: List[str] = field(default_factory=list)
+    #: Aggregated run observability (repro.obs): per-phase wall clock,
+    #: cache hit/miss counters, retries, queue waits — merged across
+    #: every worker of the run.  Always populated by the engine.
+    run_profile: Optional["RunProfile"] = None
+    #: Where the run's event log / Chrome trace were written (if tracing
+    #: was enabled via ``trace_dir``).
+    trace_dir: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -99,6 +107,7 @@ def run_suite(
     keep_going: bool = False,
     journal_dir: Optional[str] = None,
     fault_plan: Optional["FaultPlan"] = None,
+    trace_dir: Optional[str] = None,
 ) -> SuiteRunReport:
     """Characterize every workload of the given suites.
 
@@ -111,7 +120,10 @@ def run_suite(
     when ``False`` (strict, the default) any terminal failure raises
     :class:`~repro.core.resilience.SuiteRunError`.  *journal_dir*
     checkpoints completed workloads so an interrupted run resumes
-    there, even with the cache disabled.  This is a thin wrapper over
+    there, even with the cache disabled.  *trace_dir* enables the
+    :mod:`repro.obs` event log and Chrome-trace export for the run
+    (run metrics on ``report.run_profile`` are collected regardless).
+    This is a thin wrapper over
     :class:`~repro.core.engine.CharacterizationEngine`.
     """
     from repro.core.cache import ResultCache
@@ -127,5 +139,6 @@ def run_suite(
         keep_going=keep_going,
         journal_dir=journal_dir,
         fault_plan=fault_plan,
+        trace_dir=trace_dir,
     )
     return engine.run_suite(suites, preset=preset, workloads=workloads)

@@ -75,10 +75,20 @@ class GPUSimulator:
         device: DeviceSpec = RTX_3080,
         options: SimulationOptions | None = None,
         cache: Optional[MetricsCache] = None,
+        tracer=None,
     ) -> None:
         self.device = device
         self.options = options or SimulationOptions()
         self.cache = cache
+        # Run-scoped observability (repro.obs).  Counters only — the
+        # per-kernel hot loop stays branch-free; lazily defaulted to
+        # the no-op tracer so the gpu layer stays below repro.obs at
+        # import time only (no behavioral coupling).
+        if tracer is None:
+            from repro.obs import NULL_TRACER
+
+            tracer = NULL_TRACER
+        self.tracer = tracer
         cache_model = (
             CacheModel(device)
             if self.options.model_caches
@@ -135,6 +145,8 @@ class GPUSimulator:
                 metrics = self.run_kernel(kernel)
                 distinct[kernel] = metrics
             results.append(metrics)
+        self.tracer.incr("sim.launches", float(len(results)))
+        self.tracer.incr("sim.distinct_kernels", float(len(distinct)))
         return results
 
     def run(self, launches: Iterable[KernelLaunch]) -> List[KernelMetrics]:

@@ -1,0 +1,50 @@
+"""Run-scoped observability for the characterization pipeline.
+
+``repro.obs`` gives suite runs a first-class, machine-readable view of
+themselves: hierarchical **spans** (suite → workload attempt →
+stream-gen / simulate / analyze, plus cache, retry, journal and pool
+events), a **metrics registry** (counters / gauges / histograms,
+aggregated across pool workers into the
+:class:`~repro.obs.metrics.RunProfile` carried on every
+``SuiteRunReport``), and two **sinks** — an append-only JSONL event
+log and a Chrome-trace (``chrome://tracing`` / Perfetto) export.
+
+Design rules (see DESIGN.md §11):
+
+* observability *reads* the pipeline, never feeds it — results and
+  launch-stream digests are bit-for-bit identical with tracing on or
+  off;
+* stdlib-only, importable from anywhere in the tree without cycles;
+* disabled tracing is :data:`~repro.obs.spans.NULL_TRACER`, a strict
+  no-op.
+"""
+
+from repro.obs.metrics import HistogramStat, MetricsRegistry, RunProfile
+from repro.obs.session import ObsSession, TraceHandoff, worker_tracer
+from repro.obs.sinks import (
+    EventSink,
+    JsonlSink,
+    event_log_paths,
+    read_events,
+    write_chrome_trace,
+)
+from repro.obs.spans import NULL_TRACER, NullTracer, Span, Tracer, new_id
+
+__all__ = [
+    "EventSink",
+    "HistogramStat",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "ObsSession",
+    "RunProfile",
+    "Span",
+    "TraceHandoff",
+    "Tracer",
+    "event_log_paths",
+    "new_id",
+    "read_events",
+    "worker_tracer",
+    "write_chrome_trace",
+]
