@@ -199,5 +199,20 @@ def test_pipeline_hotpaths(tmp_path):
         assert entry["digest_ok"] is True
 
 
+def test_md_pipeline_hotpaths(tmp_path):
+    """MD stream/simulate/analyze phase timings (GMS/LMR/LMC), digest
+    gated like the graph run.  The recorded phase breakdown is what
+    BENCH_pipeline.json tracks as the MD-vectorization trend artifact;
+    wall-clock itself is asserted only by the CI regression gate."""
+    report = run_benchmark("laptop", ["GMS", "LMR", "LMC"])
+    write_report(report, tmp_path / "BENCH_pipeline.json")
+    assert report["digest_mismatches"] == []
+    for abbr in ("GMS", "LMR", "LMC"):
+        entry = report["workloads"][abbr]
+        assert entry["digest_ok"] is True
+        for phase in ("stream_s", "simulate_s", "analyze_s"):
+            assert entry[phase] >= 0.0
+
+
 if __name__ == "__main__":
     raise SystemExit(main())

@@ -1,0 +1,353 @@
+"""Compiled cell-list pair counter for the MD hot path.
+
+``CellList.build`` needs the exact number of neighbour pairs within the
+cutoff plus per-atom neighbour counts.  The scipy ``cKDTree`` dual-tree
+counter is exact but costs ~1.5 s per build at the paper-scale GMS
+system (70 K atoms, ~420 neighbours each), and it is rebuilt on every
+re-neighbouring event.  This module compiles a classic cell-list sweep
+(the algorithm real MD engines use) to native code with the system C
+compiler at first use and calls it through ``ctypes`` — no third-party
+build dependency, and the pure-scipy path remains as a fallback wherever
+a compiler is unavailable.
+
+Exactness contract
+------------------
+The counts must be *bit-identical* to the KD-tree path: they feed kernel
+instruction budgets and ultimately the pinned launch-stream digests.
+Floating-point distance tests in a different evaluation order could, in
+principle, round a pair across the cutoff differently than scipy does.
+Two guards make the fast path provably exact instead of merely close:
+
+* **Two-radius band.**  Pairs are classified against
+  ``r1 = r * (1 - 1e-12)`` and ``r2 = r * (1 + 1e-12)``.  Squared
+  distances computed in float64 from identical inputs differ between
+  implementations by at most a few ulp, far below the ~1e-12 relative
+  band.  If *no* pair falls in ``(r1, r2]`` — the overwhelmingly common
+  case for randomly generated positions — every faithful float64
+  implementation agrees on each pair's in/out classification, so the
+  count is exact.  If the band is non-empty, the caller falls back to
+  the KD-tree for that build.
+* **Conservative cell geometry.**  The cell count per box edge is
+  ``nc = floor(box * s / (r * (1 + 1e-9)))`` for stencil radius ``s``,
+  so the cell edge ``h >= r * (1 + 1e-9) / s``.  Any pair the ``s``-cell
+  stencil cannot see is separated by at least ``s * h > r2`` per axis —
+  including atoms mis-binned by one cell through floating-point division
+  at a cell boundary — so no in-range pair is ever missed.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import math
+import os
+import shutil
+import subprocess
+import tempfile
+from typing import NamedTuple, Optional, Tuple
+
+import numpy as np
+
+#: Environment switches: disable the compiled kernel entirely (exercises
+#: the scipy fallback), or redirect the shared-object build cache.
+ENV_DISABLE = "REPRO_NO_CELLKERNEL"
+ENV_CACHE_DIR = "REPRO_CELLKERNEL_DIR"
+
+#: Relative half-width of the exactness band around the cutoff.
+BAND_REL = 1e-12
+
+#: Upper bound on cells per edge (memory guard for the CSR cell index;
+#: enlarging cells beyond the minimum size never loses pairs).
+MAX_CELLS_PER_EDGE = 192
+
+_C_SOURCE = r"""
+#include <stdint.h>
+
+/* Count unordered atom pairs with periodic squared distance <= r2sq in
+ * a cubic box, via a half-stencil cell-list sweep.  Atoms arrive sorted
+ * by cell id; cell_start is the CSR index over nc^3 cells.  Pairs with
+ * d2 <= r1sq increment *out_in and both atoms' per_atom counters; pairs
+ * with r1sq < d2 <= r2sq only increment *out_band (the ambiguity band).
+ */
+void count_pairs(const double *restrict pos, int64_t n, double box,
+                 int64_t nc, int64_t srad,
+                 const int64_t *restrict cell_start,
+                 double r1sq, double r2sq,
+                 int32_t *restrict per_atom,
+                 int64_t *restrict out_in, int64_t *restrict out_band)
+{
+    int64_t in_count = 0, band_count = 0;
+    const double h = box / (double) nc;
+    const int s = (int) srad;
+
+    /* Lexicographically-positive stencil offsets within radius s,
+     * pruned by the minimum possible distance between the two cells
+     * (offset d along one axis => separation >= (|d|-1) * h). */
+    int off[124][3];
+    int n_off = 0;
+    for (int dx = 0; dx <= s; dx++) {
+        for (int dy = -s; dy <= s; dy++) {
+            for (int dz = -s; dz <= s; dz++) {
+                if (dx == 0 && (dy < 0 || (dy == 0 && dz <= 0)))
+                    continue;
+                const int ax = dx > 0 ? dx - 1 : 0;
+                const int ay = (dy > 0 ? dy : -dy) > 0 ? (dy > 0 ? dy : -dy) - 1 : 0;
+                const int az = (dz > 0 ? dz : -dz) > 0 ? (dz > 0 ? dz : -dz) - 1 : 0;
+                const double m2 = (double)(ax * ax + ay * ay + az * az) * h * h;
+                if (m2 > r2sq)
+                    continue;
+                off[n_off][0] = dx;
+                off[n_off][1] = dy;
+                off[n_off][2] = dz;
+                n_off++;
+            }
+        }
+    }
+
+    for (int64_t cx = 0; cx < nc; cx++)
+    for (int64_t cy = 0; cy < nc; cy++)
+    for (int64_t cz = 0; cz < nc; cz++) {
+        const int64_t c = (cx * nc + cy) * nc + cz;
+        const int64_t a0 = cell_start[c], a1 = cell_start[c + 1];
+        if (a0 == a1)
+            continue;
+
+        /* Pairs within the cell itself. */
+        for (int64_t i = a0; i < a1; i++) {
+            const double xi = pos[3 * i];
+            const double yi = pos[3 * i + 1];
+            const double zi = pos[3 * i + 2];
+            for (int64_t j = i + 1; j < a1; j++) {
+                const double dxp = pos[3 * j] - xi;
+                const double dyp = pos[3 * j + 1] - yi;
+                const double dzp = pos[3 * j + 2] - zi;
+                const double d2 = dxp * dxp + dyp * dyp + dzp * dzp;
+                if (d2 <= r2sq) {
+                    if (d2 <= r1sq) {
+                        in_count++;
+                        per_atom[i]++;
+                        per_atom[j]++;
+                    } else {
+                        band_count++;
+                    }
+                }
+            }
+        }
+
+        /* Pairs against each half-stencil partner cell, with periodic
+         * wrap: a partner wrapped past the upper edge holds atoms that
+         * are physically at +box relative to this cell, so shift the
+         * reference atom by -box (and symmetrically for the lower
+         * edge). */
+        for (int k = 0; k < n_off; k++) {
+            int64_t px = cx + off[k][0];
+            int64_t py = cy + off[k][1];
+            int64_t pz = cz + off[k][2];
+            double sx = 0.0, sy = 0.0, sz = 0.0;
+            if (px >= nc) { px -= nc; sx = box; }
+            else if (px < 0) { px += nc; sx = -box; }
+            if (py >= nc) { py -= nc; sy = box; }
+            else if (py < 0) { py += nc; sy = -box; }
+            if (pz >= nc) { pz -= nc; sz = box; }
+            else if (pz < 0) { pz += nc; sz = -box; }
+            const int64_t p = (px * nc + py) * nc + pz;
+            const int64_t b0 = cell_start[p], b1 = cell_start[p + 1];
+            if (b0 == b1)
+                continue;
+            for (int64_t i = a0; i < a1; i++) {
+                const double xi = pos[3 * i] - sx;
+                const double yi = pos[3 * i + 1] - sy;
+                const double zi = pos[3 * i + 2] - sz;
+                for (int64_t j = b0; j < b1; j++) {
+                    const double dxp = pos[3 * j] - xi;
+                    const double dyp = pos[3 * j + 1] - yi;
+                    const double dzp = pos[3 * j + 2] - zi;
+                    const double d2 = dxp * dxp + dyp * dyp + dzp * dzp;
+                    if (d2 <= r2sq) {
+                        if (d2 <= r1sq) {
+                            in_count++;
+                            per_atom[i]++;
+                            per_atom[j]++;
+                        } else {
+                            band_count++;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    *out_in = in_count;
+    *out_band = band_count;
+}
+"""
+
+
+class PairCounts(NamedTuple):
+    """Result of one compiled cell-list sweep."""
+
+    total_pairs: int
+    #: Pairs inside the ambiguity band ``(r1, r2]``; non-zero means the
+    #: caller must re-count via the reference KD-tree path.
+    band_pairs: int
+    #: Per-atom neighbour counts for *all* atoms, in input order.
+    per_atom: np.ndarray
+
+
+_kernel: Optional[ctypes.CDLL] = None
+_kernel_tried = False
+
+
+def _cache_dir() -> str:
+    override = os.environ.get(ENV_CACHE_DIR)
+    if override:
+        return override
+    return os.path.join(
+        tempfile.gettempdir(), f"repro-cellkernel-{os.getuid()}"
+    )
+
+
+def _compile_library() -> Optional[str]:
+    """Compile the C source to a cached shared object; None on failure."""
+    compiler = (
+        shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
+    )
+    if compiler is None:
+        return None
+    tag = hashlib.sha256(_C_SOURCE.encode("utf-8")).hexdigest()[:16]
+    cache_dir = _cache_dir()
+    lib_path = os.path.join(cache_dir, f"cellkernel-{tag}.so")
+    if os.path.exists(lib_path):
+        return lib_path
+    try:
+        os.makedirs(cache_dir, exist_ok=True)
+        src_path = os.path.join(cache_dir, f"cellkernel-{tag}.c")
+        with open(src_path, "w", encoding="utf-8") as handle:
+            handle.write(_C_SOURCE)
+        tmp_path = f"{lib_path}.tmp.{os.getpid()}"
+        subprocess.run(
+            [compiler, "-O3", "-fPIC", "-shared", "-o", tmp_path, src_path],
+            check=True,
+            capture_output=True,
+            timeout=120,
+        )
+        # Atomic publish so concurrent builders never load a torn file.
+        os.replace(tmp_path, lib_path)
+        return lib_path
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def load_kernel() -> Optional[ctypes.CDLL]:
+    """The compiled library, building it on first call; None if unavailable."""
+    global _kernel, _kernel_tried
+    if _kernel_tried:
+        return _kernel
+    _kernel_tried = True
+    if os.environ.get(ENV_DISABLE):
+        return None
+    lib_path = _compile_library()
+    if lib_path is None:
+        return None
+    try:
+        lib = ctypes.CDLL(lib_path)
+        lib.count_pairs.restype = None
+        lib.count_pairs.argtypes = [
+            ctypes.POINTER(ctypes.c_double),  # pos
+            ctypes.c_int64,  # n
+            ctypes.c_double,  # box
+            ctypes.c_int64,  # nc
+            ctypes.c_int64,  # srad
+            ctypes.POINTER(ctypes.c_int64),  # cell_start
+            ctypes.c_double,  # r1sq
+            ctypes.c_double,  # r2sq
+            ctypes.POINTER(ctypes.c_int32),  # per_atom
+            ctypes.POINTER(ctypes.c_int64),  # out_in
+            ctypes.POINTER(ctypes.c_int64),  # out_band
+        ]
+        _kernel = lib
+    except OSError:
+        _kernel = None
+    return _kernel
+
+
+def reset_kernel_cache() -> None:
+    """Forget the loaded kernel (tests toggle the env switches)."""
+    global _kernel, _kernel_tried
+    _kernel = None
+    _kernel_tried = False
+
+
+def _choose_grid(box: float, cutoff: float, n_atoms: int) -> Optional[Tuple[int, int]]:
+    """Pick ``(stencil_radius, cells_per_edge)`` or None if unsupported.
+
+    Radius 2 halves the cell edge, shrinking the searched volume per
+    atom ~1.7x; it only pays when cells still hold a few atoms each.
+    """
+    for srad in (2, 1):
+        nc = int(math.floor(box * srad / (cutoff * (1.0 + 1e-9))))
+        if nc < 2 * srad + 1:
+            continue
+        nc = min(nc, MAX_CELLS_PER_EDGE)
+        if srad == 2 and n_atoms / float(nc) ** 3 < 1.0:
+            continue
+        return srad, nc
+    return None
+
+
+def count_pairs_exact(
+    positions: np.ndarray, box: float, cutoff: float
+) -> Optional[PairCounts]:
+    """Exact pair counts via the compiled sweep, or None if unavailable.
+
+    ``positions`` must lie in ``[0, box)``.  A None return (no compiler,
+    kernel disabled, or box too small for the stencil) and a result with
+    ``band_pairs > 0`` both mean: use the KD-tree reference path.
+    """
+    lib = load_kernel()
+    if lib is None:
+        return None
+    n = positions.shape[0]
+    if n < 2:
+        return None
+    grid = _choose_grid(box, cutoff, n)
+    if grid is None:
+        return None
+    srad, nc = grid
+
+    h = box / nc
+    cells = np.minimum(
+        (positions * (1.0 / h)).astype(np.int64), nc - 1
+    )
+    cell_ids = (cells[:, 0] * nc + cells[:, 1]) * nc + cells[:, 2]
+    order = np.argsort(cell_ids, kind="stable")
+    sorted_pos = np.ascontiguousarray(positions[order])
+    counts = np.bincount(cell_ids, minlength=nc**3)
+    cell_start = np.zeros(nc**3 + 1, dtype=np.int64)
+    np.cumsum(counts, out=cell_start[1:])
+
+    r1sq = (cutoff * (1.0 - BAND_REL)) ** 2
+    r2sq = (cutoff * (1.0 + BAND_REL)) ** 2
+    per_atom_sorted = np.zeros(n, dtype=np.int32)
+    out_in = ctypes.c_int64(0)
+    out_band = ctypes.c_int64(0)
+    lib.count_pairs(
+        sorted_pos.ctypes.data_as(ctypes.POINTER(ctypes.c_double)),
+        ctypes.c_int64(n),
+        ctypes.c_double(box),
+        ctypes.c_int64(nc),
+        ctypes.c_int64(srad),
+        cell_start.ctypes.data_as(ctypes.POINTER(ctypes.c_int64)),
+        ctypes.c_double(r1sq),
+        ctypes.c_double(r2sq),
+        per_atom_sorted.ctypes.data_as(ctypes.POINTER(ctypes.c_int32)),
+        ctypes.byref(out_in),
+        ctypes.byref(out_band),
+    )
+
+    per_atom = np.empty(n, dtype=np.int32)
+    per_atom[order] = per_atom_sorted
+    return PairCounts(
+        total_pairs=int(out_in.value),
+        band_pairs=int(out_band.value),
+        per_atom=per_atom,
+    )

@@ -20,6 +20,7 @@ Cost constants reference points:
 
 from __future__ import annotations
 
+import functools
 import math
 
 from repro.gpu.kernel import (
@@ -30,11 +31,45 @@ from repro.gpu.kernel import (
 
 _WARP = 32.0
 
+#: Per-builder memo size cap; cleared wholesale when exceeded (the
+#: working set per run is a handful of shapes, so this never triggers in
+#: practice — it only bounds pathological callers).
+_MEMO_CAP = 4096
+
+
+def _memoized(builder):
+    """Memoize a kernel builder on its exact argument values.
+
+    MD streams launch the same kernel shapes thousands of times (the
+    stream-invariant kernels every step, the pair kernels once per
+    re-neighbour window).  ``KernelCharacteristics`` is frozen, so
+    replaying one shared instance is safe — and it turns the per-kernel
+    digest memo in ``launch_stream_digest`` into identity hits.
+    """
+    cache: dict = {}
+
+    @functools.wraps(builder)
+    def wrapper(*args, **kwargs):
+        key = (args, tuple(sorted(kwargs.items())))
+        try:
+            hit = cache.get(key)
+        except TypeError:  # unhashable argument: build uncached
+            return builder(*args, **kwargs)
+        if hit is None:
+            hit = builder(*args, **kwargs)
+            if len(cache) >= _MEMO_CAP:
+                cache.clear()
+            cache[key] = hit
+        return hit
+
+    return wrapper
+
 
 def _blocks(threads_total: int, threads_per_block: int) -> int:
     return max(1, math.ceil(threads_total / threads_per_block))
 
 
+@_memoized
 def nonbonded_pair_kernel(
     name: str,
     n_atoms: int,
@@ -74,6 +109,7 @@ def nonbonded_pair_kernel(
     )
 
 
+@_memoized
 def pairlist_prune_kernel(
     name: str,
     n_atoms: int,
@@ -106,6 +142,7 @@ def pairlist_prune_kernel(
     )
 
 
+@_memoized
 def charge_spread_kernel(
     name: str, n_atoms: int, grid_points: int, spline_order: int = 4
 ) -> KernelCharacteristics:
@@ -138,6 +175,7 @@ def charge_spread_kernel(
     )
 
 
+@_memoized
 def fft_3d_kernel(name: str, grid_points: int) -> KernelCharacteristics:
     """One 3D complex FFT over the charge grid (cuFFT-style)."""
     log_n = max(1.0, math.log2(grid_points))
@@ -162,6 +200,7 @@ def fft_3d_kernel(name: str, grid_points: int) -> KernelCharacteristics:
     )
 
 
+@_memoized
 def poisson_solve_kernel(name: str, grid_points: int) -> KernelCharacteristics:
     """Reciprocal-space solve: elementwise scaling of the k-space grid."""
     thread_insts = grid_points * 30.0
@@ -184,6 +223,7 @@ def poisson_solve_kernel(name: str, grid_points: int) -> KernelCharacteristics:
     )
 
 
+@_memoized
 def force_gather_kernel(
     name: str, n_atoms: int, grid_points: int, spline_order: int = 4
 ) -> KernelCharacteristics:
@@ -211,6 +251,7 @@ def force_gather_kernel(
     )
 
 
+@_memoized
 def bonded_kernel(
     name: str,
     n_terms: int,
@@ -238,6 +279,7 @@ def bonded_kernel(
     )
 
 
+@_memoized
 def integrate_kernel(
     name: str,
     n_atoms: int,
@@ -264,6 +306,7 @@ def integrate_kernel(
     )
 
 
+@_memoized
 def constraint_kernel(
     name: str, n_constraints: int, iterations: int = 4
 ) -> KernelCharacteristics:
@@ -288,6 +331,7 @@ def constraint_kernel(
     )
 
 
+@_memoized
 def reduction_kernel(
     name: str, n_atoms: int, bytes_per_atom: float = 12.0
 ) -> KernelCharacteristics:
@@ -310,6 +354,7 @@ def reduction_kernel(
     )
 
 
+@_memoized
 def neighbor_bin_kernel(name: str, n_atoms: int) -> KernelCharacteristics:
     """Assign atoms to cells (binning pass of the neighbour build)."""
     return KernelCharacteristics(
@@ -330,6 +375,7 @@ def neighbor_bin_kernel(name: str, n_atoms: int) -> KernelCharacteristics:
     )
 
 
+@_memoized
 def neighbor_build_kernel(
     name: str, n_atoms: int, total_pairs: int, candidate_ratio: float = 2.2
 ) -> KernelCharacteristics:
@@ -361,6 +407,7 @@ def neighbor_build_kernel(
     )
 
 
+@_memoized
 def halo_exchange_kernel(
     name: str, n_halo_atoms: int
 ) -> KernelCharacteristics:

@@ -79,6 +79,12 @@ class ParticleSystem:
         self.rng = np.random.default_rng(seed)
         self.box = spec.box_nm
         self.positions = self._generate_positions()
+        #: Monotone counter bumped on every position change made through
+        #: the class API.  Consumers (``CellList``) key caches on it, so
+        #: repeated neighbour-list builds between perturbations reuse
+        #: their geometry work.  Mutating ``positions`` in place from
+        #: outside without calling :meth:`set_positions` is unsupported.
+        self.position_version = 0
 
     def _generate_positions(self) -> np.ndarray:
         spec = self.spec
@@ -111,7 +117,29 @@ class ParticleSystem:
         if displacement_nm < 0:
             raise ValueError("displacement_nm must be non-negative")
         step = self.rng.normal(0.0, displacement_nm, size=self.positions.shape)
-        self.positions = np.mod(self.positions + step, self.box)
+        # In place (same elementwise operations, so bit-identical to the
+        # rebinding form) to avoid two position-sized temporaries per
+        # perturbation at paper scale.
+        np.add(self.positions, step, out=self.positions)
+        np.mod(self.positions, self.box, out=self.positions)
+        self.position_version += 1
+
+    def set_positions(self, positions: np.ndarray) -> None:
+        """Replace the particle positions (copied), bumping the version.
+
+        Positions must lie in ``[0, box)``, the invariant the generator
+        and :meth:`perturb` maintain.
+        """
+        arr = np.array(positions, dtype=np.float64, copy=True)
+        if arr.shape != (self.n_atoms, 3):
+            raise ValueError(
+                f"positions must have shape {(self.n_atoms, 3)}, "
+                f"got {arr.shape}"
+            )
+        if np.any(arr < 0.0) or np.any(arr >= self.box):
+            raise ValueError("positions must lie in [0, box)")
+        self.positions = arr
+        self.position_version += 1
 
 
 #: Paper input systems (Table I).  Densities/cutoffs follow the actual

@@ -104,6 +104,51 @@ class TestCellList:
             CellList(system, sample_size=0)
 
 
+class TestImbalanceDegenerateCases:
+    """The ``std / mean if mean > 0 else 0.0`` division guard, pinned.
+
+    Degenerate geometries must yield well-defined statistics — never a
+    ZeroDivisionError, never a NaN leaking into kernel ILP."""
+
+    def test_single_atom(self):
+        spec = SystemSpec(
+            name="one", n_atoms=1, number_density=1.0, cutoff_nm=0.5
+        )
+        stats = CellList(ParticleSystem(spec, seed=0)).build()
+        assert stats.total_pairs == 0
+        assert stats.avg_neighbors_per_atom == 0.0
+        assert stats.imbalance_cv == 0.0
+
+    def test_zero_neighbors(self):
+        # Mean inter-particle spacing ~10 nm at this density; a 0.3 nm
+        # cutoff leaves every sampled atom with zero neighbours, so the
+        # mean hits the guard exactly.
+        spec = SystemSpec(
+            name="sparse", n_atoms=64, number_density=0.001, cutoff_nm=0.3
+        )
+        stats = CellList(ParticleSystem(spec, seed=1)).build()
+        assert stats.total_pairs == 0
+        assert stats.imbalance_cv == 0.0
+        assert np.isfinite(stats.imbalance_cv)
+
+    def test_sample_larger_than_n_atoms(self):
+        # sample_size far above n_atoms clamps to n_atoms and must draw
+        # the identical sample (same rng.choice call) as an exact-size
+        # request — the oversized configuration is not a separate path.
+        spec = SystemSpec(
+            name="tiny", n_atoms=300, number_density=50.0, cutoff_nm=0.6
+        )
+        oversized = CellList(
+            ParticleSystem(spec, seed=3), sample_size=10_000
+        ).build()
+        exact = CellList(
+            ParticleSystem(spec, seed=3), sample_size=300
+        ).build()
+        assert oversized == exact
+        assert oversized.imbalance_cv >= 0.0
+        assert np.isfinite(oversized.imbalance_cv)
+
+
 @pytest.fixture(scope="module")
 def profiles():
     profiler = Profiler()
