@@ -1,0 +1,288 @@
+"""Device-sweep benchmark: batched device axis vs N scalar simulations.
+
+Times each Cactus workload's device sweep both ways — the naive loop
+(one :class:`GPUSimulator.run_stream` walk per zoo device) and the
+batched broadcast pass (:func:`repro.gpu.batched.simulate_devices`) —
+over the full 8-device zoo, and verifies the two produce **bit-for-bit
+identical** metrics before any timing is recorded.  Each stream's
+``launch_stream_digest`` is additionally checked against the pinned
+fixture (``tests/golden/fixtures/stream_digests.json``); an equality or
+digest mismatch is a correctness failure (exit 1 / test failure),
+timings are a trend artifact.
+
+The per-workload batched wall clock lands in the report under
+``SWEEP-<ABBR>`` keys so it can be merged into ``BENCH_pipeline.json``
+(``--merge-into``) and ride the same gross-regression gate
+(``check_bench_regression.py``) as the scalar pipeline stages::
+
+    PYTHONPATH=src python benchmarks/bench_device_sweep.py \
+        --preset observation --merge-into BENCH_pipeline.json
+
+Run directly with ``--min-speedup 3`` to also enforce the batched
+pass's speedup target on a quiet machine (CI never gates on it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DIGEST_FIXTURE = (
+    REPO_ROOT / "tests" / "golden" / "fixtures" / "stream_digests.json"
+)
+DEFAULT_OUTPUT = Path(__file__).parent / "output" / "BENCH_sweep.json"
+
+_PRESETS = ("laptop", "observation", "paper")
+_CACTUS_ORDER = (
+    "GMS", "LMR", "LMC", "GST", "GRU", "DCG", "NST", "RFL", "SPT", "LGT",
+)
+
+
+def _preset(name: str):
+    from repro.core.config import (
+        LAPTOP_SCALE,
+        OBSERVATION_SCALE,
+        PAPER_SCALE,
+    )
+
+    return {
+        "laptop": LAPTOP_SCALE,
+        "observation": OBSERVATION_SCALE,
+        "paper": PAPER_SCALE,
+    }[name]
+
+
+def _pinned_digests(preset_name: str) -> Dict[str, Dict]:
+    if not DIGEST_FIXTURE.exists():
+        return {}
+    payload = json.loads(DIGEST_FIXTURE.read_text(encoding="utf-8"))
+    return payload.get("presets", {}).get(preset_name, {})
+
+
+def _metrics_identical(batched, scalar) -> bool:
+    if len(batched) != len(scalar):
+        return False
+    for b, s in zip(batched, scalar):
+        for f in dataclasses.fields(s):
+            if getattr(b, f.name) != getattr(s, f.name):
+                return False
+    return True
+
+
+def bench_sweep_workload(abbr: str, preset_name: str, devices) -> Dict:
+    """One workload's sweep, timed naive vs batched (equality-gated)."""
+    from repro.gpu import GPUSimulator
+    from repro.gpu.batched import simulate_devices
+    from repro.gpu.digest import launch_stream_digest
+    from repro.profiler.profiler import Profiler
+    from repro.workloads.registry import get_workload
+
+    preset = _preset(preset_name)
+    workload = get_workload(abbr, scale=preset.for_workload(abbr), seed=0)
+    stream = Profiler().prepare_stream(workload)
+    digest = launch_stream_digest(stream)
+
+    t0 = time.perf_counter()
+    naive = [
+        GPUSimulator(device).run_stream(stream) for device in devices
+    ]
+    t1 = time.perf_counter()
+    batched = simulate_devices(stream, devices)
+    t2 = time.perf_counter()
+
+    identical = all(
+        _metrics_identical(b, s) for b, s in zip(batched, naive)
+    )
+    naive_s = t1 - t0
+    batched_s = t2 - t1
+    return {
+        "naive_s": naive_s,
+        "batched_s": batched_s,
+        # total_s is what the shared regression gate compares.
+        "total_s": batched_s,
+        "speedup": naive_s / batched_s if batched_s > 0 else float("inf"),
+        "identical": identical,
+        "launches": len(stream),
+        "devices": len(devices),
+        "digest": digest,
+    }
+
+
+def run_benchmark(
+    preset_name: str, workloads: Optional[List[str]] = None
+) -> Dict:
+    """Benchmark the sweep over the full zoo for *workloads*."""
+    from repro.gpu import DEVICE_ZOO
+
+    devices = list(DEVICE_ZOO.values())
+    selected = list(workloads or _CACTUS_ORDER)
+    pinned = _pinned_digests(preset_name)
+    results: Dict[str, Dict] = {}
+    mismatches: List[str] = []
+    for abbr in selected:
+        entry = bench_sweep_workload(abbr, preset_name, devices)
+        reference = pinned.get(abbr)
+        if reference is None:
+            entry["digest_ok"] = None
+        else:
+            entry["digest_ok"] = entry["digest"] == reference["digest"]
+            if not entry["digest_ok"]:
+                mismatches.append(abbr)
+        if not entry["identical"]:
+            mismatches.append(f"{abbr} (batched != scalar)")
+        results[f"SWEEP-{abbr}"] = entry
+    naive_total = sum(r["naive_s"] for r in results.values())
+    batched_total = sum(r["batched_s"] for r in results.values())
+    return {
+        "schema": 1,
+        "preset": preset_name,
+        "generated_at_unix": time.time(),
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "devices": [d.name for d in devices],
+        "workloads": results,
+        "naive_total_s": naive_total,
+        "batched_total_s": batched_total,
+        "combined_total_s": batched_total,
+        "overall_speedup": (
+            naive_total / batched_total if batched_total > 0 else 0.0
+        ),
+        "mismatches": mismatches,
+    }
+
+
+def merge_into_pipeline_report(report: Dict, pipeline_path: Path) -> None:
+    """Append the SWEEP-* rows to an existing BENCH_pipeline.json.
+
+    The regression gate compares per-entry ``total_s`` for every shared
+    key, so once a baseline carries SWEEP-* rows a gross batched-path
+    slowdown fails CI exactly like a scalar-stage slowdown would.
+    """
+    pipeline = json.loads(pipeline_path.read_text(encoding="utf-8"))
+    pipeline["workloads"].update(report["workloads"])
+    pipeline["sweep_devices"] = report["devices"]
+    pipeline["sweep_overall_speedup"] = report["overall_speedup"]
+    pipeline_path.write_text(
+        json.dumps(pipeline, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--preset", choices=_PRESETS, default="observation",
+        help="scale preset to benchmark at (default: observation)",
+    )
+    parser.add_argument(
+        "--workloads", nargs="+", metavar="ABBR", default=None,
+        help="workload abbreviations (default: the full Cactus suite)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help=f"where to write BENCH_sweep.json (default: {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--merge-into", type=Path, default=None, metavar="PIPELINE_JSON",
+        help="also merge the SWEEP-* entries into this existing "
+        "BENCH_pipeline.json so the shared regression gate covers them",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None, metavar="X",
+        help="fail unless batched is at least X times faster overall "
+        "(off by default: CI machines are too noisy to gate on)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(args.preset, args.workloads)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    if args.merge_into is not None:
+        merge_into_pipeline_report(report, args.merge_into)
+
+    width = max(len(k) for k in report["workloads"])
+    for key, entry in report["workloads"].items():
+        status = {True: "ok", False: "DIGEST MISMATCH", None: "unpinned"}[
+            entry["digest_ok"]
+        ]
+        if not entry["identical"]:
+            status = "METRICS DIVERGED"
+        print(
+            f"{key:<{width}}  naive {entry['naive_s']:7.3f}s  "
+            f"batched {entry['batched_s']:7.3f}s  "
+            f"speedup {entry['speedup']:5.2f}x  [{status}]"
+        )
+    print(
+        f"overall: naive {report['naive_total_s']:.3f}s, batched "
+        f"{report['batched_total_s']:.3f}s -> "
+        f"{report['overall_speedup']:.2f}x over {len(report['devices'])} "
+        f"devices ({report['preset']} preset) -> {args.output}"
+    )
+    if report["mismatches"]:
+        print(
+            "FAIL: correctness mismatches: "
+            + ", ".join(report["mismatches"]),
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.min_speedup is not None
+        and report["overall_speedup"] < args.min_speedup
+    ):
+        print(
+            f"FAIL: overall speedup {report['overall_speedup']:.2f}x < "
+            f"required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def test_device_sweep_bitexact(tmp_path):
+    """Correctness-gated smoke run (timings recorded, never asserted)."""
+    report = run_benchmark("laptop", ["GST", "DCG"])
+    out = tmp_path / "BENCH_sweep.json"
+    out.write_text(json.dumps(report), encoding="utf-8")
+    assert report["mismatches"] == []
+    for entry in report["workloads"].values():
+        assert entry["identical"] is True
+        assert entry["digest_ok"] is True
+        assert entry["devices"] == 8
+
+
+def test_merge_into_pipeline_report(tmp_path):
+    pipeline = tmp_path / "BENCH_pipeline.json"
+    pipeline.write_text(
+        json.dumps(
+            {"schema": 1, "preset": "laptop",
+             "workloads": {"GST": {"total_s": 0.1}}}
+        ),
+        encoding="utf-8",
+    )
+    report = run_benchmark("laptop", ["GST"])
+    merge_into_pipeline_report(report, pipeline)
+    merged = json.loads(pipeline.read_text(encoding="utf-8"))
+    assert set(merged["workloads"]) == {"GST", "SWEEP-GST"}
+    assert (
+        merged["workloads"]["SWEEP-GST"]["total_s"]
+        == report["workloads"]["SWEEP-GST"]["total_s"]
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,40 +1,54 @@
 #!/usr/bin/env python3
-"""Device sweep: re-characterize Cactus across GPU models.
+"""Device sweep: re-characterize Cactus across the whole device zoo.
 
 The paper's future work proposes evaluating Cactus across a broader
-range of GPU platforms.  The analytical substrate makes that a loop:
-this example recharacterizes a Cactus subset on four device presets and
-reports how the memory/compute classification shifts with the machine
-balance (the elbow moves with bandwidth-to-compute ratio).
+range of GPU platforms.  The sweep pipeline makes that one call:
+``run_sweep`` generates each workload's launch stream exactly once,
+evaluates the full device axis in a single batched broadcast pass
+(:func:`repro.gpu.batched.simulate_devices`), and returns per-device
+characterizations that are bit-for-bit identical to scalar runs.
+
+The differential analysis then answers the platform question directly:
+where each device's roofline elbow sits, which workloads flip between
+memory- and compute-intensive as the machine balance changes, and
+whether the dominant-kernel selection survives a platform change.
 
 Usage::
 
     python examples/device_sweep.py
 """
 
-from repro.core import characterize
-from repro.gpu import DEVICE_PRESETS
-from repro.workloads import get_workload
+from repro.analysis.sweep import analyze_sweep, render_sweep_markdown
+from repro.core import run_sweep
+from repro.gpu import DEVICE_ZOO
 
 WORKLOADS = ("GMS", "LMR", "GST", "DCG", "SPT")
 
 
 def main() -> None:
-    print(f"{'device':<10} {'elbow':>7}  " +
-          "  ".join(f"{w:>12}" for w in WORKLOADS))
-    for name, device in DEVICE_PRESETS.items():
+    devices = list(DEVICE_ZOO.values())
+    report = run_sweep(devices, workloads=WORKLOADS, keep_going=True)
+
+    # Compact intensity table: one row per device, one column per
+    # workload, each cell the aggregate instruction intensity and which
+    # side of *that device's* elbow it lands on.
+    print(f"{'device':<10} {'elbow':>7}  "
+          + "  ".join(f"{w:>12}" for w in WORKLOADS))
+    for device in devices:
         cells = []
         for abbr in WORKLOADS:
-            workload = get_workload(abbr, scale=0.25)
-            result = characterize(workload, device=device)
-            point = result.aggregate_point
+            point = report.results[abbr][device.name].aggregate_point
             side = "C" if point.is_compute_intensive else "M"
             cells.append(f"{point.intensity:7.1f} {side}")
-        print(f"{name:<10} {device.roofline_elbow:>7.2f}  " +
-              "  ".join(f"{c:>12}" for c in cells))
+        print(f"{device.name:<10.10} {device.roofline_elbow:>7.2f}  "
+              + "  ".join(f"{c:>12}" for c in cells))
     print("\nII in warp insts per 32B transaction; C/M = side of that "
-          "device's elbow. A bandwidth-rich device (A100) pushes "
-          "borderline workloads to the compute side.")
+          "device's elbow. A bandwidth-rich device (H100) pushes "
+          "borderline workloads to the compute side.\n")
+
+    # The full differential section the `repro sweep` command prints.
+    analysis = analyze_sweep(report.results, report.devices)
+    print(render_sweep_markdown(analysis))
 
 
 if __name__ == "__main__":

@@ -12,6 +12,9 @@
   dendrogram rendering (Fig. 9).
 * :mod:`~repro.analysis.survey` — the benchmark-popularity survey data
   (Fig. 1).
+* :mod:`~repro.analysis.sweep` — cross-device differentials (roofline
+  elbows, classification flips, dominant-kernel shifts) over a device
+  sweep.
 """
 
 from repro.analysis.clustering import (
@@ -47,6 +50,14 @@ from repro.analysis.subsetting import (
     select_representatives,
 )
 from repro.analysis.survey import SURVEY_COUNTS, survey_table
+from repro.analysis.sweep import (
+    DeviceElbowRow,
+    SweepAnalysis,
+    WorkloadClassRow,
+    analyze_sweep,
+    elbow_table,
+    render_sweep_markdown,
+)
 
 __all__ = [
     "ClusteringResult",
@@ -74,4 +85,10 @@ __all__ = [
     "select_representatives",
     "SURVEY_COUNTS",
     "survey_table",
+    "DeviceElbowRow",
+    "SweepAnalysis",
+    "WorkloadClassRow",
+    "analyze_sweep",
+    "elbow_table",
+    "render_sweep_markdown",
 ]

@@ -13,6 +13,11 @@ Commands
     Run both suites and print the Observation 1-12 scoreboard.
 ``report``
     Full Markdown characterization report (optionally to a file).
+``sweep``
+    Characterize a suite across a list of devices (one stream per
+    workload, batched device-axis simulation) and print the
+    cross-device differential: roofline elbows, classification flips,
+    dominant-kernel shifts.
 ``trace ABBR PATH``
     Export a workload's kernel launch stream as a JSONL trace.
 """
@@ -35,7 +40,9 @@ from repro.core import (
     characterize,
     check_observations,
     run_suite,
+    run_sweep,
 )
+from repro.gpu.device import DEVICE_ZOO, device_by_name
 from repro.core.report import generate_report
 from repro.workloads import get_workload, list_workloads
 
@@ -234,6 +241,52 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--with-prt", action="store_true",
                         help="include the PRT comparison sections")
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="characterize a suite across a device zoo",
+        description=(
+            "Each workload's launch stream is generated once and the "
+            "whole device list is simulated in a single batched pass; "
+            "prints per-device Table-I style rows plus the "
+            "cross-device differential (elbows, classification flips, "
+            "dominant-kernel shifts)."
+        ),
+    )
+    device_sel = sweep.add_mutually_exclusive_group(required=True)
+    device_sel.add_argument(
+        "--devices",
+        metavar="NAME[,NAME...]",
+        help="comma-separated device names from the zoo "
+        f"(known: {', '.join(DEVICE_ZOO)})",
+    )
+    device_sel.add_argument(
+        "--all-devices",
+        action="store_true",
+        help="sweep every device in the zoo",
+    )
+    sweep.add_argument(
+        "--suite",
+        default="Cactus",
+        help="suite to sweep (default: Cactus)",
+    )
+    sweep.add_argument(
+        "--workloads",
+        metavar="ABBR[,ABBR...]",
+        default=None,
+        help="restrict to these workload abbreviations",
+    )
+    sweep.add_argument(
+        "--baseline",
+        default=None,
+        metavar="NAME",
+        help="device the dominant-kernel shift column compares "
+        "against (default: RTX 3080 when swept, else the first "
+        "device)",
+    )
+    sweep.add_argument(
+        "--output", default=None, help="write the sweep section to this file"
+    )
+
     trace = sub.add_parser("trace", help="export a workload kernel trace")
     trace.add_argument("abbr")
     trace.add_argument("path")
@@ -366,6 +419,48 @@ def _cmd_report(output: Optional[str], with_prt: bool, run_kwargs) -> int:
     return 0
 
 
+def _cmd_sweep(args, run_kwargs) -> int:
+    from repro.analysis.sweep import analyze_sweep, render_sweep_markdown
+
+    if args.all_devices:
+        devices = list(DEVICE_ZOO.values())
+    else:
+        try:
+            devices = [
+                device_by_name(name)
+                for name in args.devices.split(",")
+                if name.strip()
+            ]
+        except KeyError as exc:
+            print(f"repro: error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        if not devices:
+            print("repro: error: --devices: empty list", file=sys.stderr)
+            return 2
+    workloads = (
+        [w for w in args.workloads.split(",") if w.strip()]
+        if args.workloads
+        else None
+    )
+    report = run_sweep(
+        devices, suites=[args.suite], workloads=workloads, **run_kwargs
+    )
+    _print_failures(report)
+    analysis = analyze_sweep(
+        report.results, report.devices, baseline=args.baseline
+    )
+    text = render_sweep_markdown(analysis)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    _print_cache_stats(run_kwargs["cache"])
+    _print_trace_dir(report)
+    return 0
+
+
 def _cmd_trace(abbr: str, path: str, scale: float) -> int:
     from repro.profiler import export_trace
 
@@ -425,6 +520,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_observations(run_kwargs)
         if args.command == "report":
             return _cmd_report(args.output, args.with_prt, run_kwargs)
+        if args.command == "sweep":
+            return _cmd_sweep(args, run_kwargs)
     except SuiteRunError as exc:
         # --strict: a workload failed terminally.  The partial report
         # (with every completed characterization) rode along on the

@@ -5,6 +5,7 @@ from repro.core.characterize import (
     Characterization,
     build_characterization,
     characterize,
+    characterize_devices,
 )
 from repro.core.compare import (
     ObservationReport,
@@ -19,7 +20,7 @@ from repro.core.config import (
     ScalePreset,
 )
 from repro.core.engine import CharacterizationEngine
-from repro.core.journal import RunJournal
+from repro.core.journal import RunJournal, SweepJournal
 from repro.core.resilience import (
     RetryPolicy,
     SuiteRunError,
@@ -30,7 +31,9 @@ from repro.core.serialize import (
     suite_run_report_from_dict,
     suite_run_report_to_dict,
 )
+from repro.core.streamcache import StreamCache
 from repro.core.suite import SuiteResult, SuiteRunReport, run_suite
+from repro.core.sweep import SweepRunReport, run_sweep
 
 __all__ = [
     "CacheStats",
@@ -39,10 +42,14 @@ __all__ = [
     "ResultCache",
     "RetryPolicy",
     "RunJournal",
+    "StreamCache",
     "SuiteRunError",
+    "SweepJournal",
+    "SweepRunReport",
     "WorkloadFailure",
     "build_characterization",
     "characterize",
+    "characterize_devices",
     "classify_exception",
     "ObservationReport",
     "check_observations",
@@ -55,6 +62,7 @@ __all__ = [
     "SuiteResult",
     "SuiteRunReport",
     "run_suite",
+    "run_sweep",
     "suite_run_report_from_dict",
     "suite_run_report_to_dict",
 ]

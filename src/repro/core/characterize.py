@@ -76,6 +76,7 @@ def characterize(
     profiler: Optional[Profiler] = None,
     cache: Optional["ResultCache"] = None,
     tracer=None,
+    stream=None,
 ) -> Characterization:
     """Run the full per-workload characterization pipeline.
 
@@ -83,6 +84,12 @@ def characterize(
     of ``(device, simulation options, launch-stream digest)`` — a warm
     hit skips the simulation and every analysis step and deserializes a
     result that compares equal to a fresh computation.
+
+    *stream* short-circuits generation: pass the launch list a previous
+    characterization of the *same workload instance* already prepared
+    (the engine memoizes streams per run) and the ``stream-gen`` phase
+    is skipped entirely — generation cost is paid once per run even
+    when one workload is characterized on several devices.
 
     *tracer* (see :mod:`repro.obs`) wraps each phase — ``stream-gen``,
     ``cache-lookup``, ``simulate``, ``analyze``, ``cache-store`` — in a
@@ -96,9 +103,10 @@ def characterize(
         simulator=GPUSimulator(device, cache=cache)
     )
     abbr = workload.abbr
-    with tracer.span("stream-gen", category="phase", workload=abbr) as sp:
-        stream = profiler.prepare_stream(workload)
-        sp.set_attr("launches", len(stream))
+    if stream is None:
+        with tracer.span("stream-gen", category="phase", workload=abbr) as sp:
+            stream = profiler.prepare_stream(workload)
+            sp.set_attr("launches", len(stream))
 
     key: Optional[str] = None
     if cache is not None:
@@ -139,3 +147,148 @@ def characterize(
         with tracer.span("cache-store", category="phase", workload=abbr):
             cache.put(key, characterization_to_dict(result))
     return result
+
+
+def characterize_devices(
+    workload: Workload,
+    devices,
+    options=None,
+    cache: Optional["ResultCache"] = None,
+    stream_cache=None,
+    tracer=None,
+    steady_state: bool = True,
+    stream=None,
+) -> "dict[str, Characterization]":
+    """Characterize one workload across N devices from ONE stream.
+
+    The device-sweep inner loop: the launch stream is acquired exactly
+    once (from the *stream* argument, the device-free *stream_cache*,
+    or — last resort — fresh generation under a ``stream-gen`` span),
+    every device's result cache entry is probed under the **same**
+    content-addressed key the scalar path uses (so suite runs warm
+    sweeps and vice versa), and only the missing devices go through the
+    batched device-axis simulator
+    (:func:`repro.gpu.batched.simulate_devices`) — a single broadcast
+    pass instead of N scalar walks.
+
+    Returns ``{device.name: Characterization}`` in *devices* order.
+    Every entry is bit-for-bit identical to what
+    :func:`characterize` would produce for that device alone.
+    """
+    from repro.gpu.batched import simulate_devices
+    from repro.gpu.simulator import SimulationOptions
+    from repro.obs import NULL_TRACER
+
+    tracer = tracer or NULL_TRACER
+    options = options or SimulationOptions()
+    abbr = workload.abbr
+    identity = {
+        "name": workload.name,
+        "abbr": workload.abbr,
+        "suite": workload.suite,
+        "domain": workload.domain,
+    }
+
+    # -- stream acquisition: memo > stream cache > generation ----------
+    skey: Optional[str] = None
+    if stream_cache is not None:
+        from repro.core.streamcache import stream_key
+
+        skey = stream_key(
+            identity, workload.scale, workload.seed, steady_state
+        )
+        if stream is None:
+            with tracer.span(
+                "stream-cache-lookup", category="phase", workload=abbr
+            ):
+                stream = stream_cache.get(skey)
+    generated = False
+    if stream is None:
+        with tracer.span(
+            "stream-gen", category="phase", workload=abbr
+        ) as sp:
+            profiler = Profiler(steady_state=steady_state)
+            stream = profiler.prepare_stream(workload)
+            sp.set_attr("launches", len(stream))
+        generated = True
+    if generated and stream_cache is not None and skey is not None:
+        with tracer.span(
+            "stream-cache-store", category="phase", workload=abbr
+        ):
+            stream_cache.put(skey, stream)
+
+    # -- per-device result-cache probes (scalar-compatible keys) -------
+    results: "dict[str, Characterization]" = {}
+    missing = list(devices)
+    keys: "dict[str, str]" = {}
+    if cache is not None:
+        from repro.core.cache import characterization_key
+        from repro.core.serialize import characterization_from_dict
+
+        with tracer.span(
+            "cache-lookup",
+            category="phase",
+            workload=abbr,
+            devices=len(missing),
+        ) as sp:
+            still_missing = []
+            for device in missing:
+                key = characterization_key(
+                    device, options, identity, stream
+                )
+                keys[device.name] = key
+                payload = cache.get(key)
+                if payload is not None:
+                    try:
+                        results[device.name] = characterization_from_dict(
+                            payload
+                        )
+                        continue
+                    except (KeyError, TypeError, ValueError):
+                        pass  # schema-corrupt entry → recompute below
+                still_missing.append(device)
+            missing = still_missing
+            sp.set_attr("hits", len(results))
+
+    # -- batched simulate + per-device analysis for the misses ---------
+    if missing:
+        with tracer.span(
+            "simulate-devices",
+            category="phase",
+            workload=abbr,
+            devices=len(missing),
+        ) as sp:
+            per_device = simulate_devices(
+                stream, missing, options=options, tracer=tracer
+            )
+            sp.set_attr("launches", len(stream))
+        aggregator = Profiler(steady_state=steady_state)
+        with tracer.span(
+            "analyze", category="phase", workload=abbr, devices=len(missing)
+        ):
+            fresh = {}
+            for device, metrics in zip(missing, per_device):
+                profile = aggregator.profile_metrics(
+                    stream,
+                    metrics,
+                    workload=workload.name,
+                    suite=workload.suite,
+                    domain=workload.domain,
+                )
+                fresh[device.name] = build_characterization(
+                    workload.abbr, profile, device
+                )
+        if cache is not None:
+            from repro.core.serialize import characterization_to_dict
+
+            with tracer.span(
+                "cache-store",
+                category="phase",
+                workload=abbr,
+                devices=len(fresh),
+            ):
+                for name, result in fresh.items():
+                    cache.put(keys[name], characterization_to_dict(result))
+        results.update(fresh)
+
+    return {device.name: results[device.name] for device in devices}

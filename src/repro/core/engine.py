@@ -50,9 +50,14 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cache import CacheStats, ResultCache
-from repro.core.characterize import Characterization, characterize
+from repro.core.characterize import (
+    Characterization,
+    characterize,
+    characterize_devices,
+)
 from repro.core.config import LAPTOP_SCALE, ScalePreset
-from repro.core.journal import RunJournal
+from repro.core.journal import RunJournal, SweepJournal
+from repro.core.streamcache import StreamCache
 from repro.core.resilience import (
     RetryPolicy,
     SuiteRunError,
@@ -145,6 +150,65 @@ def _characterize_one(
     return abbr, result, stats, snapshot
 
 
+def _sweep_one(
+    abbr: str,
+    scale: float,
+    seed: int,
+    devices: Tuple[DeviceSpec, ...],
+    options: SimulationOptions,
+    cache_dir: Optional[str],
+    stream_cache_dir: Optional[str],
+    attempt: int = 1,
+    fault_plan: Optional["FaultPlan"] = None,
+    handoff: Optional[TraceHandoff] = None,
+) -> Tuple[str, Dict[str, Characterization], CacheStats, Optional[dict]]:
+    """Pool worker for device sweeps: one workload, every device.
+
+    The sweep fans out over *workloads* (not workload x device): each
+    worker owns one workload end to end, generates (or loads) its
+    stream exactly once, and runs the batched device-axis simulator for
+    whatever the result cache does not already hold.  Same pool
+    contract as :func:`_characterize_one` — picklable, atomic shared
+    caches, spans rooted via *handoff*, metrics snapshot on the result
+    tuple.
+    """
+    tracer = worker_tracer(handoff)
+    cache = ResultCache(cache_dir=cache_dir) if cache_dir else None
+    if cache is not None:
+        cache.tracer = tracer
+    stream_cache = (
+        StreamCache(cache_dir=stream_cache_dir) if stream_cache_dir else None
+    )
+    if stream_cache is not None:
+        stream_cache.tracer = tracer
+    try:
+        with tracer.span(
+            "attempt",
+            category="workload",
+            workload=abbr,
+            attempt=attempt,
+            mode="pool-sweep",
+            devices=len(devices),
+        ):
+            if fault_plan is not None:
+                fault_plan.before(abbr, attempt)
+            workload = get_workload(abbr, scale=scale, seed=seed)
+            result = characterize_devices(
+                workload,
+                list(devices),
+                options=options,
+                cache=cache,
+                stream_cache=stream_cache,
+                tracer=tracer,
+            )
+    finally:
+        if tracer.sink is not None:
+            tracer.sink.close()
+    snapshot = tracer.metrics.snapshot() if tracer.metrics else None
+    stats = cache.stats if cache is not None else CacheStats()
+    return abbr, result, stats, snapshot
+
+
 @dataclass
 class _ExecutionOutcome:
     """Mutable scratchpad for one execution strategy's results."""
@@ -206,17 +270,47 @@ class CharacterizationEngine:
     journal_dir: Optional[str] = None
     fault_plan: Optional["FaultPlan"] = None
     trace_dir: Optional[str] = None
+    #: Optional device-independent launch-stream cache (see
+    #: :mod:`repro.core.streamcache`).  When absent but ``cache`` has a
+    #: disk tier, sweeps derive one under ``<cache_dir>/streams``.
+    stream_cache: Optional[StreamCache] = None
+    #: Per-run stream memo: ``id(workload) -> (workload, stream)``.  The
+    #: strong workload reference pins the id against reuse; entries live
+    #: for the engine's lifetime, so characterizing the same workload
+    #: object twice (e.g. on two devices) generates its stream once.
+    _stream_memo: Dict[int, tuple] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     # -- single workload ----------------------------------------------
+    def memoized_stream(self, workload, profiler: Profiler):
+        """*workload*'s prepared stream, generated at most once per run."""
+        entry = self._stream_memo.get(id(workload))
+        if entry is not None and entry[0] is workload:
+            return entry[1]
+        stream = profiler.prepare_stream(workload)
+        self._stream_memo[id(workload)] = (workload, stream)
+        return stream
+
     def characterize(self, workload) -> Characterization:
-        """Characterize one instantiated workload (serial, cached)."""
+        """Characterize one instantiated workload (serial, cached).
+
+        Streams are memoized on the engine: calling this twice with the
+        same workload object — including with a different ``device`` set
+        between calls — pays stream generation once.
+        """
         profiler = Profiler(
             simulator=GPUSimulator(
                 self.device, options=self.options, cache=self.cache
             )
         )
+        stream = self.memoized_stream(workload, profiler)
         return characterize(
-            workload, device=self.device, profiler=profiler, cache=self.cache
+            workload,
+            device=self.device,
+            profiler=profiler,
+            cache=self.cache,
+            stream=stream,
         )
 
     # -- whole suites --------------------------------------------------
@@ -344,6 +438,205 @@ class CharacterizationEngine:
             raise SuiteRunError(report, report.failures)
         return report
 
+    # -- device sweeps -------------------------------------------------
+    def sweep_run_key(
+        self,
+        preset: ScalePreset,
+        selected: Sequence[str],
+        devices: Sequence[DeviceSpec],
+    ) -> str:
+        """Content digest identifying one sweep run (journal identity)."""
+        return stable_digest(
+            [
+                "sweep-run",
+                CACHE_SCHEMA_VERSION,
+                list(devices),
+                self.options,
+                preset,
+                list(selected),
+            ]
+        )
+
+    def _sweep_stream_cache(self) -> Optional[StreamCache]:
+        """The sweep's stream cache (explicit, derived, or None)."""
+        if self.stream_cache is not None:
+            return self.stream_cache
+        if self.cache is not None and self.cache.cache_dir is not None:
+            return StreamCache(
+                cache_dir=os.path.join(str(self.cache.cache_dir), "streams")
+            )
+        return None
+
+    def _stream_cache_dir_arg(self) -> Optional[str]:
+        stream_cache = self._sweep_stream_cache()
+        if (
+            stream_cache is not None
+            and stream_cache.backend.cache_dir is not None
+        ):
+            return str(stream_cache.backend.cache_dir)
+        return None
+
+    def run_sweep(
+        self,
+        devices: Sequence[DeviceSpec],
+        suites: Sequence[str] = ("Cactus",),
+        preset: ScalePreset = LAPTOP_SCALE,
+        workloads: Optional[Sequence[str]] = None,
+    ):
+        """Characterize every workload of *suites* across N devices.
+
+        The sweep fans out over **workloads** — one pool task per
+        workload, each owning the full device axis — because stream
+        generation is the expensive, device-independent part: every
+        stream is generated exactly once per run (and cached
+        device-free in the stream cache for the next run), while the
+        device axis is evaluated in one batched broadcast pass per
+        workload (:func:`repro.gpu.batched.simulate_devices`).
+
+        Shares the engine's retry/timeout/pool-rebuild machinery,
+        journal/resume (a :class:`~repro.core.journal.SweepJournal`
+        keyed on the device list), obs spans, and the scalar-compatible
+        result cache — a prior ``run_suite`` on any zoo device warm-
+        starts the sweep and vice versa.  Returns a
+        :class:`~repro.core.sweep.SweepRunReport`; in strict mode
+        (``keep_going=False``) terminal failures raise
+        :class:`~repro.core.resilience.SuiteRunError` carrying it.
+        """
+        from repro.core.sweep import SweepRunReport
+
+        devices = list(devices)
+        if not devices:
+            raise ValueError("run_sweep needs at least one device")
+        names = [d.name for d in devices]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate device names in sweep: {names}")
+
+        selected = self.select(suites, workloads)
+        jobs = _resolve_jobs(self.jobs)
+        report = SweepRunReport(devices=devices, preset=preset)
+
+        session = ObsSession(self.trace_dir)
+        self._session = session
+        restore_cache_tracer = False
+        if self.cache is not None and self.cache.tracer is None:
+            self.cache.tracer = session.tracer
+            restore_cache_tracer = True
+        stream_cache = self._sweep_stream_cache()
+        if stream_cache is not None and stream_cache.tracer is None:
+            stream_cache.tracer = session.tracer
+        try:
+            with session.tracer.span(
+                "sweep-run",
+                category="suite",
+                suites=list(suites),
+                preset=preset.name,
+                jobs=jobs,
+                selected=len(selected),
+                devices=names,
+            ):
+                journal: Optional[SweepJournal] = None
+                completed: Dict[str, Dict[str, Characterization]] = {}
+                if self.journal_dir is not None:
+                    journal = SweepJournal(
+                        self.journal_dir,
+                        self.sweep_run_key(preset, selected, devices),
+                        tracer=session.tracer,
+                    )
+                    completed = journal.begin(selected)
+                    report.resumed = [a for a in selected if a in completed]
+
+                remaining = [a for a in selected if a not in completed]
+                outcome = _ExecutionOutcome(results=dict(completed))
+                if remaining:
+                    if jobs > 1:
+                        cache_dir = self._cache_dir_arg()
+                        stream_cache_dir = self._stream_cache_dir_arg()
+                        device_tuple = tuple(devices)
+
+                        def submit_sweep(pool, abbr, attempt, handoff):
+                            return pool.submit(
+                                _sweep_one,
+                                abbr,
+                                preset.for_workload(abbr),
+                                preset.seed,
+                                device_tuple,
+                                self.options,
+                                cache_dir,
+                                stream_cache_dir,
+                                attempt,
+                                self.fault_plan,
+                                handoff,
+                            )
+
+                        self._run_parallel(
+                            remaining, preset, jobs, journal, outcome,
+                            submit_task=submit_sweep,
+                        )
+                        remaining = [
+                            a for a in remaining if a not in outcome.resolved
+                        ]
+                    if remaining:  # serial path, or parallel degraded
+                        tracer = session.tracer
+
+                        def run_one_sweep(abbr: str, attempt: int):
+                            if self.fault_plan is not None:
+                                self.fault_plan.before(abbr, attempt)
+                            workload = get_workload(
+                                abbr,
+                                scale=preset.for_workload(abbr),
+                                seed=preset.seed,
+                            )
+                            return characterize_devices(
+                                workload,
+                                devices,
+                                options=self.options,
+                                cache=self.cache,
+                                stream_cache=stream_cache,
+                                tracer=tracer,
+                            )
+
+                        self._run_serial(
+                            remaining, preset, journal, outcome,
+                            run_one=run_one_sweep, mode="serial-sweep",
+                        )
+
+                for abbr in selected:
+                    if abbr in outcome.results:
+                        report.results[abbr] = outcome.results[abbr]
+                order = {abbr: idx for idx, abbr in enumerate(selected)}
+                report.failures = sorted(
+                    outcome.failures,
+                    key=lambda f: order.get(f.abbr, len(order)),
+                )
+                report.attempts = dict(outcome.attempts)
+                report.fallback_reason = outcome.fallback_reason
+                session.tracer.incr(
+                    "engine.workloads_completed",
+                    float(len(outcome.results) - len(completed)),
+                )
+                session.tracer.incr(
+                    "engine.workloads_failed", float(len(report.failures))
+                )
+                session.tracer.incr(
+                    "engine.sweep_devices", float(len(devices))
+                )
+                if journal is not None:
+                    journal.finish(ok=not report.failures)
+        finally:
+            if restore_cache_tracer and self.cache is not None:
+                self.cache.tracer = None
+            if stream_cache is not None and stream_cache.tracer is session.tracer:
+                stream_cache.tracer = None
+            report.run_profile = session.run_profile()
+            session.finalize()
+            if session.tracing and session.trace_dir is not None:
+                report.trace_dir = str(session.trace_dir)
+            self._session = None
+
+        if report.failures and not self.keep_going:
+            raise SuiteRunError(report, report.failures)
+        return report
+
     # -- observability access ------------------------------------------
     @property
     def _obs(self) -> Optional[ObsSession]:
@@ -381,24 +674,52 @@ class CharacterizationEngine:
         preset: ScalePreset,
         journal: Optional[RunJournal],
         outcome: _ExecutionOutcome,
+        run_one=None,
+        mode: str = "serial",
     ) -> None:
         """In-process loop with retry + failure isolation.
 
-        Shares one profiler (and its kernel memo) across workloads.
-        Per-workload timeouts cannot be enforced here — a running
-        characterization cannot be preempted in-process — so
+        The attempt body is pluggable: *run_one(abbr, attempt)* produces
+        the result recorded for one workload (the default characterizes
+        it on ``self.device``, sharing one profiler — and its kernel
+        memo — across workloads; the sweep path characterizes it across
+        a device list).  Per-workload timeouts cannot be enforced here —
+        a running characterization cannot be preempted in-process — so
         ``retry_policy.timeout_s`` only applies on the pool path.
         """
         policy = self.retry_policy
         tracer = self._tracer
-        profiler = Profiler(
-            simulator=GPUSimulator(
-                self.device,
-                options=self.options,
-                cache=self.cache,
-                tracer=tracer,
+        if run_one is None:
+            profiler = Profiler(
+                simulator=GPUSimulator(
+                    self.device,
+                    options=self.options,
+                    cache=self.cache,
+                    tracer=tracer,
+                )
             )
-        )
+
+            def run_one(abbr: str, attempt: int):
+                if self.fault_plan is not None:
+                    self.fault_plan.before(abbr, attempt)
+                workload = get_workload(
+                    abbr,
+                    scale=preset.for_workload(abbr),
+                    seed=preset.seed,
+                )
+                result = characterize(
+                    workload,
+                    device=self.device,
+                    profiler=profiler,
+                    cache=self.cache,
+                    tracer=tracer,
+                )
+                if self.fault_plan is not None:
+                    result = self.fault_plan.after(
+                        abbr, attempt, result, self.cache
+                    )
+                return result
+
         for abbr in selected:
             attempt = 0
             started = time.monotonic()
@@ -410,26 +731,9 @@ class CharacterizationEngine:
                         category="workload",
                         workload=abbr,
                         attempt=attempt,
-                        mode="serial",
+                        mode=mode,
                     ):
-                        if self.fault_plan is not None:
-                            self.fault_plan.before(abbr, attempt)
-                        workload = get_workload(
-                            abbr,
-                            scale=preset.for_workload(abbr),
-                            seed=preset.seed,
-                        )
-                        result = characterize(
-                            workload,
-                            device=self.device,
-                            profiler=profiler,
-                            cache=self.cache,
-                            tracer=tracer,
-                        )
-                        if self.fault_plan is not None:
-                            result = self.fault_plan.after(
-                                abbr, attempt, result, self.cache
-                            )
+                        result = run_one(abbr, attempt)
                 except Exception as exc:
                     if policy.should_retry(exc, attempt):
                         delay = policy.backoff_s(abbr, attempt)
@@ -490,8 +794,16 @@ class CharacterizationEngine:
         jobs: int,
         journal: Optional[RunJournal],
         outcome: _ExecutionOutcome,
+        submit_task=None,
     ) -> None:
         """Fan out across a process pool with retry/timeout/rebuild.
+
+        The submitted task is pluggable: *submit_task(pool, abbr,
+        attempt, handoff)* returns the wave's future for one workload
+        (default: :func:`_characterize_one` on ``self.device``; the
+        sweep path submits :func:`_sweep_one` over a device list).
+        Every worker must return the ``(abbr, result, stats, snapshot)``
+        tuple this loop harvests.
 
         Work proceeds in waves: every unresolved workload is submitted,
         then awaited in registration order under the per-workload
@@ -507,6 +819,22 @@ class CharacterizationEngine:
         tracer = self._tracer
         session = self._obs
         cache_dir = self._cache_dir_arg()
+        if submit_task is None:
+
+            def submit_task(pool, abbr: str, attempt: int, handoff):
+                return pool.submit(
+                    _characterize_one,
+                    abbr,
+                    preset.for_workload(abbr),
+                    preset.seed,
+                    self.device,
+                    self.options,
+                    cache_dir,
+                    attempt,
+                    self.fault_plan,
+                    handoff,
+                )
+
         try:
             pool = self._new_pool(jobs, len(selected))
         except _POOL_UNAVAILABLE as exc:
@@ -549,16 +877,10 @@ class CharacterizationEngine:
                 tracer.incr("engine.retries")
                 time.sleep(delay)
             started.setdefault(abbr, time.monotonic())
-            return pool.submit(
-                _characterize_one,
+            return submit_task(
+                pool,
                 abbr,
-                preset.for_workload(abbr),
-                preset.seed,
-                self.device,
-                self.options,
-                cache_dir,
                 attempts[abbr] + 1,
-                self.fault_plan,
                 session.handoff() if session is not None else None,
             )
 

@@ -200,3 +200,65 @@ class RunJournal:
         self.tracer.event(
             "journal.finish", category="journal", status=meta["status"]
         )
+
+
+class SweepJournal(RunJournal):
+    """Checkpoint store for one device-sweep run identity.
+
+    Same on-disk layout and lifecycle as :class:`RunJournal`, but each
+    completion marker holds the workload's *whole device axis* —
+    ``{"devices": {device_name: characterization_dict}}`` — because the
+    sweep's unit of work is one workload across all devices, and a
+    resumed sweep must skip exactly the workloads whose full device set
+    already landed.  The run key (built by
+    :meth:`~repro.core.engine.CharacterizationEngine.sweep_run_key`)
+    digests the device list, so adding a device starts a fresh journal
+    rather than resuming against incomplete markers.
+    """
+
+    def _load_completed(
+        self, selected: Iterable[str]
+    ) -> Dict[str, Dict[str, Characterization]]:
+        completed: Dict[str, Dict[str, Characterization]] = {}
+        for abbr in selected:
+            path = self.marker_path(abbr)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    marker = json.load(handle)
+                if marker.get("run_key") != self.run_key:
+                    continue  # marker from a different run identity
+                completed[abbr] = {
+                    name: characterization_from_dict(payload)
+                    for name, payload in marker["devices"].items()
+                }
+            except (OSError, ValueError, KeyError, TypeError, AttributeError):
+                continue  # absent or corrupt marker → just re-run it
+        return completed
+
+    def mark_done(
+        self,
+        abbr: str,
+        result: Dict[str, Characterization],
+        attempts: int = 1,
+    ) -> None:
+        """Atomically record *abbr* with its full per-device result map."""
+        _atomic_write_json(
+            self.marker_path(abbr),
+            {
+                "schema": JOURNAL_SCHEMA_VERSION,
+                "run_key": self.run_key,
+                "abbr": abbr.upper(),
+                "attempts": attempts,
+                "devices": {
+                    name: characterization_to_dict(entry)
+                    for name, entry in result.items()
+                },
+            },
+        )
+        self.tracer.event(
+            "journal.checkpoint",
+            category="journal",
+            workload=abbr.upper(),
+            attempts=attempts,
+        )
+        self.tracer.incr("engine.journal_checkpoints")

@@ -10,13 +10,20 @@ vocabulary the paper collects (Table IV) plus the roofline quantities
 (GIPS and instruction intensity).
 """
 
+from repro.gpu.batched import batch_kernel_metrics, simulate_devices
 from repro.gpu.device import (
     A100,
     DEVICE_PRESETS,
+    DEVICE_ZOO,
     EDGE_GPU,
+    H100,
+    P100,
     RTX_3080,
     RTX_3090,
+    RTX_4090,
+    V100,
     DeviceSpec,
+    device_by_name,
 )
 from repro.gpu.kernel import (
     InstructionMix,
@@ -38,10 +45,18 @@ from repro.gpu.timing import TimingBreakdown, TimingModel
 __all__ = [
     "A100",
     "DEVICE_PRESETS",
+    "DEVICE_ZOO",
     "EDGE_GPU",
+    "H100",
+    "P100",
     "RTX_3080",
     "RTX_3090",
+    "RTX_4090",
+    "V100",
     "DeviceSpec",
+    "device_by_name",
+    "batch_kernel_metrics",
+    "simulate_devices",
     "InstructionMix",
     "KernelCharacteristics",
     "KernelLaunch",

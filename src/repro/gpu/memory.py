@@ -16,6 +16,11 @@ analytical reuse-distance approximations:
 The output is exactly what the instruction roofline needs: the number of
 32-byte DRAM transactions, plus the hit rates the correlation and
 clustering analyses consume.
+
+The batched device-axis path (:mod:`repro.gpu.batched`) re-implements
+this model as ``(device, kernel)`` matrix expressions with identical
+associativity; keep the two in sync (the differential tests in
+``tests/gpu/test_batched_devices.py`` pin bit-for-bit equality).
 """
 
 from __future__ import annotations

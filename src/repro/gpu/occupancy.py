@@ -4,6 +4,12 @@ Computes how many warps are resident per SM for a launch and how well the
 grid fills the machine.  This drives two Table IV metrics directly (warp
 occupancy and SM efficiency) and feeds the latency-hiding term of the
 timing model.
+
+The batched device-axis path (:mod:`repro.gpu.batched`) re-implements
+these formulas as ``(device, kernel)`` matrix expressions with the same
+operation order; a change to the math here must be mirrored there (the
+differential tests in ``tests/gpu/test_batched_devices.py`` fail loudly
+if the two drift).
 """
 
 from __future__ import annotations

@@ -5,6 +5,12 @@
 and returns one :class:`~repro.gpu.metrics.KernelMetrics` record per
 launch, in order.  Identical kernels are memoized, which keeps the
 simulation of workloads with millions of repeated launches cheap.
+
+This is the scalar (single-device) path.  Device sweeps should go
+through :func:`repro.gpu.batched.simulate_devices`, which evaluates the
+same model for N devices in one broadcast pass and is pinned bit-for-bit
+against ``run_stream`` — any behavioral change here must keep the
+batched twin (and its differential tests) in sync.
 """
 
 from __future__ import annotations

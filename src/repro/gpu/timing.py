@@ -25,14 +25,21 @@ from repro.gpu.metrics import KernelMetrics
 from repro.gpu.occupancy import OccupancyResult, compute_occupancy
 
 #: Cost of a block-wide barrier, in scheduler cycles per sync instruction.
-_BARRIER_LATENCY_CYCLES = 120.0
+#: Public: the batched device-axis path (:mod:`repro.gpu.batched`) must
+#: use the *same* constants to stay bit-for-bit equal to this model.
+BARRIER_LATENCY_CYCLES = 120.0
 
 #: Peak per-SM warp-instruction throughput of the FP32 pipeline and the
 #: load/store units, in warp instructions per cycle.  On Ampere each SM
 #: has 128 FP32 lanes (4 warps/cycle) and 4 LSU groups (we model an
 #: effective 2 warp ld/st per cycle).
-_FP32_WARPS_PER_CYCLE = 4.0
-_LSU_WARPS_PER_CYCLE = 2.0
+FP32_WARPS_PER_CYCLE = 4.0
+LSU_WARPS_PER_CYCLE = 2.0
+
+# Backward-compatible aliases (pre-sweep private names).
+_BARRIER_LATENCY_CYCLES = BARRIER_LATENCY_CYCLES
+_FP32_WARPS_PER_CYCLE = FP32_WARPS_PER_CYCLE
+_LSU_WARPS_PER_CYCLE = LSU_WARPS_PER_CYCLE
 
 
 @dataclass(frozen=True)

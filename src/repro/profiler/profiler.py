@@ -71,8 +71,31 @@ class Profiler:
         """Aggregate an explicit launch sequence into a profile."""
         launch_list = list(launches)
         metrics = self.simulator.run_stream(launch_list)
+        return self.profile_metrics(
+            launch_list, metrics, workload, suite=suite, domain=domain
+        )
+
+    # ------------------------------------------------------------------
+    def profile_metrics(
+        self,
+        launches: Iterable[KernelLaunch],
+        metrics: Iterable[KernelMetrics],
+        workload: str,
+        suite: str = "",
+        domain: str = "",
+    ) -> ApplicationProfile:
+        """Aggregate precomputed per-launch metrics into a profile.
+
+        The device-sweep path simulates one stream across many devices
+        in a single batched pass (:func:`repro.gpu.batched.simulate_devices`)
+        and then aggregates each device's metric sequence here — the
+        exact aggregation :meth:`profile_launches` performs, so a
+        batched profile compares equal to a scalar one.  ``metrics``
+        must parallel ``launches`` (one record per launch, repeated
+        launches sharing one record, as both simulators guarantee).
+        """
         by_name: Dict[str, List[KernelMetrics]] = defaultdict(list)
-        for launch, record in zip(launch_list, metrics):
+        for launch, record in zip(launches, metrics):
             by_name[launch.name].append(record)
         kernels = [
             aggregate_launches(name, records)

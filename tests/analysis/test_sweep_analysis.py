@@ -1,0 +1,92 @@
+"""Cross-device sweep analysis: elbows, flips, dominant-kernel shifts."""
+
+import pytest
+
+from repro.analysis.sweep import (
+    analyze_sweep,
+    dominant_kernel_shifts,
+    elbow_table,
+    render_sweep_markdown,
+)
+from repro.core import run_sweep
+from repro.gpu import DEVICE_ZOO, H100, RTX_3080, RTX_4090
+
+ZOO = list(DEVICE_ZOO.values())
+WLS = ["GST", "DCG", "SPT"]
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    report = run_sweep(ZOO, workloads=WLS)
+    return analyze_sweep(report.results, report.devices)
+
+
+class TestElbowTable:
+    def test_sorted_by_elbow(self):
+        rows = elbow_table(ZOO)
+        assert [r.name for r in rows] == [
+            r.name for r in sorted(rows, key=lambda r: r.elbow)
+        ]
+        assert len(rows) == len(ZOO)
+
+    def test_rows_carry_the_device_geometry(self):
+        (row,) = elbow_table([RTX_3080])
+        assert row.elbow == pytest.approx(RTX_3080.roofline_elbow)
+        assert row.peak_gips == pytest.approx(RTX_3080.peak_gips)
+
+    def test_zoo_spans_a_wide_elbow_range(self):
+        """The curated zoo must actually exercise the classification
+        boundary: elbows from ~7 to ~41 insts/txn."""
+        rows = elbow_table(ZOO)
+        assert rows[0].elbow < 10 < 40 < rows[-1].elbow
+        assert H100.roofline_elbow < RTX_3080.roofline_elbow
+        assert RTX_4090.roofline_elbow > RTX_3080.roofline_elbow
+
+
+class TestAnalyzeSweep:
+    def test_classes_follow_each_devices_elbow(self, analysis):
+        for row in analysis.classes:
+            for name, cls in row.classes:
+                assert cls in ("compute", "memory")
+                assert row.class_on(name) == cls
+
+    def test_baseline_defaults_to_rtx_3080(self, analysis):
+        assert analysis.baseline == "RTX 3080"
+        with pytest.raises(KeyError):
+            analyze_sweep({}, ZOO, baseline="nonexistent")
+
+    def test_flips_detected_across_the_zoo(self, analysis):
+        """DCG and SPT sit near the elbow: the 4090's bandwidth-starved
+        balance pushes them memory-side while H100 keeps them compute-
+        side — the sweep must surface that."""
+        flipped = set(analysis.flipped_workloads)
+        assert {"DCG", "SPT"} <= flipped
+        assert "GST" not in flipped  # deep memory-side everywhere
+
+    def test_dominant_shifts_reference_swept_devices(self, analysis):
+        names = {d.name for d in analysis.devices}
+        for abbr, shifts in analysis.dominant_shifts.items():
+            assert abbr in WLS
+            for device_name, (added, removed) in shifts.items():
+                assert device_name in names - {analysis.baseline}
+                assert added or removed
+
+
+class TestDominantShifts:
+    def test_identical_sets_mean_no_shift(self, analysis):
+        # Self-comparison via a single-device "sweep": trivially empty.
+        report = run_sweep([RTX_3080], workloads=["GST"])
+        per_device = report.results["GST"]
+        assert dominant_kernel_shifts(per_device, "RTX 3080") == {}
+
+
+class TestRender:
+    def test_markdown_has_all_sections(self, analysis):
+        text = render_sweep_markdown(analysis)
+        assert "### Roofline elbows" in text
+        assert "### Aggregate intensity class per device" in text
+        assert "### Dominant-kernel shifts vs RTX 3080" in text
+        for device in ZOO:
+            assert device.name in text
+        for abbr in WLS:
+            assert abbr in text

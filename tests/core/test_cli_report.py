@@ -37,6 +37,29 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["frobnicate"])
 
+    def test_sweep(self, capsys):
+        assert main(["--preset", "laptop", "sweep",
+                     "--devices", "V100,H100",
+                     "--workloads", "GST,DCG"]) == 0
+        out = capsys.readouterr().out
+        assert "## Device sweep" in out
+        assert "Roofline elbows" in out
+        assert "V100" in out and "H100" in out
+
+    def test_sweep_to_file_all_devices(self, tmp_path, capsys):
+        path = tmp_path / "sweep.md"
+        assert main(["--preset", "laptop", "sweep", "--all-devices",
+                     "--workloads", "GST",
+                     "--output", str(path)]) == 0
+        text = path.read_text()
+        for name in ("EdgeGPU", "P100", "RTX 4090"):
+            assert name in text
+
+    def test_sweep_rejects_unknown_device(self, capsys):
+        assert main(["sweep", "--devices", "TPUv4",
+                     "--workloads", "GST"]) == 2
+        assert "unknown device" in capsys.readouterr().err.lower()
+
     def test_report_to_file(self, tmp_path, capsys):
         path = tmp_path / "report.md"
         assert main(["--preset", "laptop", "report",

@@ -1,0 +1,178 @@
+"""Engine-level sweep guarantees: parity, one-stream, resume, interop.
+
+The sweep pipeline promises that ``run_sweep`` is a pure *speed* win:
+every per-device characterization is bit-for-bit what a scalar
+``run_suite`` on that device produces, streams are generated exactly
+once per run (verified from the obs span counts, not trusted), the
+result cache is shared in both directions, and the journal resumes a
+sweep the same way it resumes a suite run.
+"""
+
+import pytest
+
+from repro.core import (
+    CharacterizationEngine,
+    ResultCache,
+    StreamCache,
+    run_suite,
+    run_sweep,
+)
+from repro.core.config import LAPTOP_SCALE
+from repro.gpu import DEVICE_ZOO, RTX_3080, V100
+
+ZOO = list(DEVICE_ZOO.values())
+WLS = ["GMS", "GST", "DCG"]
+
+
+@pytest.fixture(scope="module")
+def sweep_report():
+    return run_sweep([RTX_3080, V100], workloads=WLS)
+
+
+class TestSweepParity:
+    def test_matches_scalar_suite_per_device(self, sweep_report):
+        """The headline differential: sweep slice == scalar suite."""
+        for device in (RTX_3080, V100):
+            suite = run_suite(workloads=WLS, device=device)
+            for abbr in WLS:
+                assert (
+                    sweep_report.results[abbr][device.name]
+                    == suite.results[abbr]
+                ), (abbr, device.name)
+
+    def test_for_device_view_is_a_suite_result(self, sweep_report):
+        view = sweep_report.for_device("V100")
+        assert view.device.name == "V100"
+        assert set(view.results) == set(WLS)
+        assert view["GST"] is sweep_report.results["GST"]["V100"]
+
+    def test_ordering_and_validation(self, sweep_report):
+        assert list(sweep_report.results) == WLS  # registration order
+        assert list(sweep_report.results["GMS"]) == ["RTX 3080", "V100"]
+        engine = CharacterizationEngine()
+        with pytest.raises(ValueError):
+            engine.run_sweep([])
+        with pytest.raises(ValueError):
+            engine.run_sweep([RTX_3080, RTX_3080], workloads=WLS)
+
+
+class TestOneStreamManyDevices:
+    def test_stream_generated_once_per_workload(self):
+        """Acceptance: an 8-device sweep runs one stream-gen span per
+        workload — the span count is measured, not assumed."""
+        report = run_sweep(ZOO, workloads=WLS)
+        gen = report.run_profile.histograms.get("span.stream-gen_s")
+        assert gen is not None and gen["count"] == len(WLS)
+        sims = report.run_profile.histograms.get("span.simulate-devices_s")
+        assert sims is not None and sims["count"] == len(WLS)
+
+    def test_stream_cache_skips_generation_on_second_run(self, tmp_path):
+        stream_cache = StreamCache(cache_dir=tmp_path / "streams")
+        engine = CharacterizationEngine(stream_cache=stream_cache)
+        first = engine.run_sweep([RTX_3080, V100], workloads=WLS)
+        gen1 = first.run_profile.histograms["span.stream-gen_s"]["count"]
+        assert gen1 == len(WLS)
+        # A fresh engine (fresh process in real life), same stream dir:
+        # zero generations, identical results.
+        engine2 = CharacterizationEngine(
+            stream_cache=StreamCache(cache_dir=tmp_path / "streams")
+        )
+        second = engine2.run_sweep([RTX_3080, V100], workloads=WLS)
+        assert "span.stream-gen_s" not in second.run_profile.histograms
+        for abbr in WLS:
+            assert second.results[abbr] == first.results[abbr]
+
+
+class TestCacheInterop:
+    def test_suite_run_warms_sweep_and_back(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        suite = run_suite(workloads=WLS, device=V100, cache_dir=cache_dir)
+        sweep = run_sweep(
+            [RTX_3080, V100], workloads=WLS, cache_dir=cache_dir
+        )
+        # V100 came straight from the suite's entries...
+        hits = sweep.run_profile.counter(
+            "cache.memory_hits"
+        ) + sweep.run_profile.counter("cache.disk_hits")
+        assert hits >= len(WLS)
+        for abbr in WLS:
+            assert sweep.results[abbr]["V100"] == suite.results[abbr]
+        # ...and the sweep's RTX 3080 entries warm a later suite run.
+        suite2 = run_suite(
+            workloads=WLS, device=RTX_3080, cache_dir=cache_dir
+        )
+        for abbr in WLS:
+            assert suite2.results[abbr] == sweep.results[abbr]["RTX 3080"]
+
+    def test_fully_cached_sweep_never_simulates(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        first = run_sweep(
+            [RTX_3080, V100], workloads=WLS, cache_dir=cache_dir
+        )
+        again = run_sweep(
+            [RTX_3080, V100], workloads=WLS, cache_dir=cache_dir
+        )
+        profile = again.run_profile
+        assert "span.simulate-devices_s" not in profile.histograms
+        assert "span.stream-gen_s" not in profile.histograms
+        for abbr in WLS:
+            assert again.results[abbr] == first.results[abbr]
+
+
+class TestParallelAndResume:
+    def test_parallel_equals_serial(self, sweep_report):
+        parallel = run_sweep([RTX_3080, V100], workloads=WLS, jobs=2)
+        for abbr in WLS:
+            assert parallel.results[abbr] == sweep_report.results[abbr]
+
+    def test_journal_resumes_completed_workloads(self, tmp_path):
+        journal_dir = str(tmp_path / "journal")
+        first = run_sweep(
+            [RTX_3080, V100], workloads=WLS, journal_dir=journal_dir
+        )
+        assert first.resumed == []
+        second = run_sweep(
+            [RTX_3080, V100], workloads=WLS, journal_dir=journal_dir
+        )
+        assert second.resumed == WLS
+        for abbr in WLS:
+            assert second.results[abbr] == first.results[abbr]
+
+    def test_journal_identity_includes_devices(self, tmp_path):
+        """Adding a device must start fresh, not resume short markers."""
+        journal_dir = str(tmp_path / "journal")
+        run_sweep([RTX_3080], workloads=WLS, journal_dir=journal_dir)
+        wider = run_sweep(
+            [RTX_3080, V100], workloads=WLS, journal_dir=journal_dir
+        )
+        assert wider.resumed == []
+        assert all(len(wider.results[a]) == 2 for a in WLS)
+
+
+class TestEngineStreamMemo:
+    def test_characterize_twice_generates_once(self):
+        """Satellite: same workload object on two devices pays stream
+        generation once (the engine memoizes per object identity)."""
+        from repro.workloads import get_workload
+
+        calls = {"n": 0}
+        workload = get_workload(
+            "GST",
+            scale=LAPTOP_SCALE.for_workload("GST"),
+            seed=LAPTOP_SCALE.seed,
+        )
+        original = workload.launch_stream
+
+        def counting():
+            calls["n"] += 1
+            return original()
+
+        workload.launch_stream = counting
+        engine = CharacterizationEngine(device=RTX_3080)
+        first = engine.characterize(workload)
+        engine.device = V100
+        second = engine.characterize(workload)
+        assert calls["n"] == 1
+        assert first.abbr == second.abbr == "GST"
+        # Different devices, so genuinely different characterizations.
+        assert first.profile.total_time_s != second.profile.total_time_s

@@ -1,0 +1,184 @@
+"""Differential guards for the batched device-axis simulator.
+
+The whole value of :func:`repro.gpu.batched.simulate_devices` rests on
+one claim: the (D, K) broadcast evaluation is **bit-for-bit identical**
+to D independent scalar :meth:`GPUSimulator.run_stream` walks.  These
+tests pin that claim across every zoo device, every pinned Cactus
+workload, the simulator's option ablations, and (via hypothesis)
+randomly perturbed device specs — any float-level divergence in any
+:class:`KernelMetrics` field is a failure, not a tolerance question.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import LAPTOP_SCALE
+from repro.gpu import (
+    DEVICE_ZOO,
+    RTX_3080,
+    V100,
+    GPUSimulator,
+    SimulationOptions,
+    simulate_devices,
+)
+from repro.gpu.batched import batch_kernel_metrics
+from repro.gpu.simulator import TimingOptions
+from repro.workloads import get_workload, list_workloads
+
+ZOO = list(DEVICE_ZOO.values())
+
+
+def scalar_metrics(launches, device, options=None):
+    sim = GPUSimulator(device, options=options or SimulationOptions())
+    return sim.run_stream(launches)
+
+
+def assert_streams_identical(batched, scalar, context=""):
+    assert len(batched) == len(scalar), context
+    for i, (b, s) in enumerate(zip(batched, scalar)):
+        for f in dataclasses.fields(s):
+            bv, sv = getattr(b, f.name), getattr(s, f.name)
+            assert bv == sv, (
+                f"{context} launch {i} field {f.name}: "
+                f"batched={bv!r} scalar={sv!r}"
+            )
+
+
+@pytest.fixture(scope="module")
+def cactus_streams():
+    """Every pinned Cactus workload's laptop-preset launch stream."""
+    streams = {}
+    for abbr in list_workloads("Cactus"):
+        workload = get_workload(
+            abbr,
+            scale=LAPTOP_SCALE.for_workload(abbr),
+            seed=LAPTOP_SCALE.seed,
+        )
+        streams[abbr] = list(workload.launch_stream())
+    return streams
+
+
+class TestBatchedEqualsScalar:
+    def test_every_zoo_device_every_cactus_workload(self, cactus_streams):
+        """The headline differential: 10 workloads x 8 devices."""
+        for abbr, stream in cactus_streams.items():
+            batched = simulate_devices(stream, ZOO)
+            for device, per_device in zip(ZOO, batched):
+                assert_streams_identical(
+                    per_device,
+                    scalar_metrics(stream, device),
+                    context=f"{abbr} on {device.name}",
+                )
+
+    @pytest.mark.parametrize(
+        "options",
+        [
+            SimulationOptions(model_caches=False),
+            SimulationOptions(
+                timing=TimingOptions(
+                    dram_efficiency=0.5, model_latency=False
+                )
+            ),
+            SimulationOptions(
+                timing=TimingOptions(model_launch_overhead=False)
+            ),
+        ],
+        ids=["no-caches", "half-dram-no-latency", "no-overhead"],
+    )
+    def test_option_ablations(self, cactus_streams, options):
+        """Every simulator switch takes the same branch in both paths."""
+        stream = cactus_streams["GST"]
+        batched = simulate_devices(stream, ZOO, options=options)
+        for device, per_device in zip(ZOO, batched):
+            assert_streams_identical(
+                per_device,
+                scalar_metrics(stream, device, options),
+                context=f"GST[{options!r}] on {device.name}",
+            )
+
+    def test_single_device_reduces_to_scalar_path(self, cactus_streams):
+        """N=1 delegates to GPUSimulator itself — zero-risk fast path."""
+        stream = cactus_streams["GRU"]
+        for device in ZOO:
+            (only,) = simulate_devices(stream, [device])
+            assert_streams_identical(
+                only, scalar_metrics(stream, device), device.name
+            )
+
+    def test_repeated_launches_share_one_record(self, cactus_streams):
+        """Equal kernels map to one KernelMetrics object per device —
+        the object-identity contract aggregate_launches groups by."""
+        stream = cactus_streams["DCG"]
+        assert len(stream) > len({ln.kernel for ln in stream})
+        batched = simulate_devices(stream, [RTX_3080, V100])
+        for per_device in batched:
+            by_kernel = {}
+            for launch, record in zip(stream, per_device):
+                seen = by_kernel.setdefault(launch.kernel, record)
+                assert seen is record
+
+    def test_rejects_empty_and_duplicate_devices(self, cactus_streams):
+        stream = cactus_streams["GST"]
+        with pytest.raises(ValueError):
+            simulate_devices(stream, [])
+        with pytest.raises(ValueError):
+            simulate_devices(stream, [RTX_3080, RTX_3080])
+
+    def test_batch_kernel_metrics_orders_by_device_then_kernel(
+        self, cactus_streams
+    ):
+        kernels = sorted(
+            {ln.kernel for ln in cactus_streams["GMS"]},
+            key=lambda k: k.name,
+        )
+        table = batch_kernel_metrics(kernels, ZOO)
+        assert len(table) == len(ZOO)
+        for row in table:
+            assert [m.name for m in row] == [k.name for k in kernels]
+
+
+device_perturbations = st.fixed_dictionaries(
+    {},
+    optional={
+        "num_sms": st.integers(1, 256),
+        "warp_schedulers_per_sm": st.integers(1, 8),
+        "clock_ghz": st.floats(0.2, 3.5),
+        "dram_bandwidth_gbs": st.floats(10.0, 4000.0),
+        "l2_bytes": st.integers(256 * 1024, 128 * 1024 * 1024),
+        "l1_bytes_per_sm": st.integers(16 * 1024, 512 * 1024),
+        "max_warps_per_sm": st.integers(8, 64),
+        "max_blocks_per_sm": st.integers(1, 32),
+        "alu_latency_cycles": st.floats(2.0, 20.0),
+        "l1_latency_cycles": st.floats(10.0, 80.0),
+        "l2_latency_cycles": st.floats(80.0, 400.0),
+        "dram_latency_cycles": st.floats(200.0, 900.0),
+        "kernel_launch_overhead_s": st.floats(0.0, 1e-4),
+    },
+)
+
+
+class TestBatchedProperties:
+    @given(overrides=st.lists(device_perturbations, min_size=2, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_random_device_specs_stay_bit_exact(self, overrides):
+        """Any plausible DeviceSpec, not just the curated zoo."""
+        stream = self._stream()
+        devices = [
+            RTX_3080.with_overrides(name=f"perturbed-{i}", **kwargs)
+            for i, kwargs in enumerate(overrides)
+        ]
+        batched = simulate_devices(stream, devices)
+        for device, per_device in zip(devices, batched):
+            assert_streams_identical(
+                per_device,
+                scalar_metrics(stream, device),
+                context=device.name,
+            )
+
+    @staticmethod
+    def _stream():
+        workload = get_workload("GST", scale=0.01, seed=3)
+        return list(workload.launch_stream())
