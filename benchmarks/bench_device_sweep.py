@@ -112,6 +112,12 @@ def bench_sweep_workload(abbr: str, preset_name: str, devices) -> Dict:
         "speedup": naive_s / batched_s if batched_s > 0 else float("inf"),
         "identical": identical,
         "launches": len(stream),
+        # Same grouping counts the scalar pipeline entries carry, so
+        # SWEEP-* rows satisfy the shared report schema: distinct
+        # kernel *names* and distinct KernelCharacteristics (the
+        # simulator's actual memoization unit).
+        "distinct_kernels": len({l.kernel.name for l in stream}),
+        "distinct_characteristics": len({l.kernel for l in stream}),
         "devices": len(devices),
         "digest": digest,
     }

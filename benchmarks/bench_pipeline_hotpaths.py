@@ -101,6 +101,11 @@ def bench_workload(abbr: str, preset_name: str) -> Dict:
         "total_s": t3 - t0,
         "launches": len(stream),
         "distinct_kernels": len(characterization.profile.kernels),
+        # Distinct KernelCharacteristics values — the simulator's actual
+        # grouping unit (kernel *names* above can each cover thousands
+        # of structurally distinct launches, e.g. GRU's per-level BFS
+        # frontiers).  simulate_s scales with this, not with launches.
+        "distinct_characteristics": len({l.kernel for l in stream}),
         "digest": digest,
     }
 
@@ -197,6 +202,20 @@ def test_pipeline_hotpaths(tmp_path):
     assert report["digest_mismatches"] == []
     for entry in report["workloads"].values():
         assert entry["digest_ok"] is True
+    # Grouping-ratio guard (deterministic: streams are digest-pinned).
+    # GRU's 8 kernel names cover thousands of structurally distinct
+    # per-BFS-level launches — the simulate hot path must group by
+    # KernelCharacteristics equality and batch-evaluate the distinct
+    # set, so the counts themselves are asserted here: a regression
+    # that breaks kernel identity (e.g. a per-launch field leaking into
+    # KernelCharacteristics) would inflate distinct_characteristics
+    # toward launches.
+    gru = report["workloads"]["GRU"]
+    assert gru["distinct_kernels"] == 8
+    assert gru["distinct_characteristics"] == 1679
+    assert gru["launches"] / gru["distinct_characteristics"] > 1.4
+    gst = report["workloads"]["GST"]
+    assert gst["distinct_characteristics"] <= gst["launches"]
 
 
 def test_md_pipeline_hotpaths(tmp_path):

@@ -1,0 +1,488 @@
+"""Similarity-index benchmark: sublinear queries and proxy hit rates.
+
+Two deterministic, count-gated experiments over the real Cactus kernel
+corpus (distinct :class:`KernelCharacteristics` drawn from the suite's
+launch streams, digest-checked against the pinned fixture):
+
+**Index scaling** — build a :class:`repro.analysis.similarity.KernelIndex`
+over growing corpus prefixes and answer the same held-out k-NN queries
+through the VP-tree and through the brute-force reference scan.  The
+two must return **identical** neighbor lists (a correctness failure
+exits 1); the gate then compares *distance-evaluation counts* — a
+machine-independent cost measure — and requires the tree to spend at
+most ``--max-evals-ratio`` (default 0.5) of the brute-force budget at
+the largest corpus size.  Wall-clock timings ride along as trend
+artifacts only.
+
+**Proxy hit-rate multiplier** — warm a per-device
+:class:`repro.core.proxy.ProxyTier` corpus plus the exact-key result
+cache by simulating every workload at ``--warm-preset`` across the
+device zoo, then replay the ``--preset`` streams (different scale ⇒
+near-duplicate, rarely identical kernels) through the same caches.
+The gate requires the effective hit count (exact + proxy) to be at
+least ``--min-multiplier`` (default 2.0) times the exact-only count —
+the headline claim that the proxy tier multiplies the cache's reach on
+a warm corpus.  Audit sampling is disabled here so the counts are
+exact.
+
+The ``SIM-*`` rows land in the report under ``workloads`` so they can
+be merged into ``BENCH_pipeline.json`` (``--merge-into``) and ride the
+shared gross-regression gate::
+
+    PYTHONPATH=src python benchmarks/bench_similarity.py \
+        --preset observation --merge-into BENCH_pipeline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DIGEST_FIXTURE = (
+    REPO_ROOT / "tests" / "golden" / "fixtures" / "stream_digests.json"
+)
+DEFAULT_OUTPUT = Path(__file__).parent / "output" / "BENCH_similarity.json"
+
+_PRESETS = ("laptop", "observation", "paper")
+_CACTUS_ORDER = (
+    "GMS", "LMR", "LMC", "GST", "GRU", "DCG", "NST", "RFL", "SPT", "LGT",
+)
+
+DEFAULT_QUERIES = 64
+DEFAULT_KNN = 3
+DEFAULT_PROXY_TOL = 0.5
+DEFAULT_MIN_MULTIPLIER = 2.0
+DEFAULT_MAX_EVALS_RATIO = 0.5
+
+
+def _preset(name: str):
+    from repro.core.config import (
+        LAPTOP_SCALE,
+        OBSERVATION_SCALE,
+        PAPER_SCALE,
+    )
+
+    return {
+        "laptop": LAPTOP_SCALE,
+        "observation": OBSERVATION_SCALE,
+        "paper": PAPER_SCALE,
+    }[name]
+
+
+def _pinned_digests(preset_name: str) -> Dict[str, Dict]:
+    if not DIGEST_FIXTURE.exists():
+        return {}
+    payload = json.loads(DIGEST_FIXTURE.read_text(encoding="utf-8"))
+    return payload.get("presets", {}).get(preset_name, {})
+
+
+def _streams(preset_name: str, workloads: Sequence[str]):
+    """(abbr, stream, digest) per workload, digest-checked when pinned."""
+    from repro.gpu.digest import launch_stream_digest
+    from repro.profiler.profiler import Profiler
+    from repro.workloads.registry import get_workload
+
+    preset = _preset(preset_name)
+    pinned = _pinned_digests(preset_name)
+    out = []
+    mismatches = []
+    for abbr in workloads:
+        workload = get_workload(
+            abbr, scale=preset.for_workload(abbr), seed=0
+        )
+        stream = Profiler().prepare_stream(workload)
+        digest = launch_stream_digest(stream)
+        reference = pinned.get(abbr)
+        if reference is not None and reference["digest"] != digest:
+            mismatches.append(abbr)
+        out.append((abbr, stream, digest))
+    return out, mismatches
+
+
+def _distinct_kernels(streams) -> List:
+    """Distinct KernelCharacteristics, first-seen order across streams."""
+    seen = set()
+    corpus = []
+    for _, stream, _ in streams:
+        for launch in stream:
+            if launch.kernel not in seen:
+                seen.add(launch.kernel)
+                corpus.append(launch.kernel)
+    return corpus
+
+
+# -- experiment 1: index build/query scaling ---------------------------
+def bench_index_scaling(
+    streams, n_queries: int, k: int, max_evals_ratio: float
+) -> Dict:
+    """VP-tree vs brute-force over growing prefixes of the corpus."""
+    from repro.analysis.similarity import KernelIndex, kernel_features
+    from repro.gpu.digest import kernel_digest
+
+    corpus = _distinct_kernels(streams)
+    if len(corpus) < 2 * n_queries:
+        n_queries = max(1, len(corpus) // 4)
+    # Hold out every (len/n)-th kernel as a query: novel vectors, spread
+    # across workloads, deterministic.
+    stride = max(1, len(corpus) // n_queries)
+    query_rows = set(range(0, len(corpus), stride)[:n_queries])
+    queries = [kernel_features(corpus[i]) for i in sorted(query_rows)]
+    indexable = [
+        kernel for i, kernel in enumerate(corpus) if i not in query_rows
+    ]
+
+    sizes = []
+    size = 256
+    while size < len(indexable):
+        sizes.append(size)
+        size *= 2
+    sizes.append(len(indexable))
+
+    scaling = []
+    identical = True
+    for size in sizes:
+        tree = KernelIndex(use_tree=True)
+        brute = KernelIndex(use_tree=False)
+        for kernel in indexable[:size]:
+            digest = kernel_digest(kernel)
+            tree.add(digest, kernel_features(kernel), None)
+            brute.add(digest, kernel_features(kernel), None)
+        t0 = time.perf_counter()
+        tree.build()
+        build_s = time.perf_counter() - t0
+
+        evals0 = tree.distance_evals
+        t0 = time.perf_counter()
+        tree_answers = [tree.knn(q, k) for q in queries]
+        tree_query_s = time.perf_counter() - t0
+        tree_evals = tree.distance_evals - evals0
+
+        brute.build()
+        evals0 = brute.distance_evals
+        t0 = time.perf_counter()
+        brute_answers = [brute.knn(q, k) for q in queries]
+        brute_query_s = time.perf_counter() - t0
+        brute_evals = brute.distance_evals - evals0
+
+        same = all(
+            [(n.key, n.distance) for n in a]
+            == [(n.key, n.distance) for n in b]
+            for a, b in zip(tree_answers, brute_answers)
+        )
+        identical = identical and same
+        scaling.append({
+            "corpus": size,
+            "build_s": build_s,
+            "tree_query_s": tree_query_s,
+            "brute_query_s": brute_query_s,
+            "tree_evals": tree_evals,
+            "brute_evals": brute_evals,
+            "evals_ratio": (
+                tree_evals / brute_evals if brute_evals else 0.0
+            ),
+            "identical": same,
+        })
+
+    final = scaling[-1]
+    return {
+        "queries": len(queries),
+        "k": k,
+        "scaling": scaling,
+        "identical": identical,
+        "evals_ratio": final["evals_ratio"],
+        "sublinear_ok": final["evals_ratio"] <= max_evals_ratio,
+        "max_evals_ratio": max_evals_ratio,
+        # total_s is what the shared regression gate compares: one
+        # build plus both query passes at the largest corpus size.
+        "total_s": (
+            final["build_s"]
+            + final["tree_query_s"]
+            + final["brute_query_s"]
+        ),
+    }
+
+
+# -- experiment 2: proxy hit-rate multiplier on a warm corpus ----------
+def bench_proxy_multiplier(
+    warm_streams,
+    measure_streams,
+    devices,
+    proxy_tol: float,
+    min_multiplier: float,
+) -> Dict:
+    """Effective (exact + proxy) vs exact-only cache hits, count-gated."""
+    from repro.core.cache import ResultCache
+    from repro.core.proxy import ProxyBank, ProxyConfig
+    from repro.gpu.simulator import GPUSimulator
+
+    cache = ResultCache()
+    # audit_fraction=0 keeps the hit/miss counts exact (audits would
+    # deterministically reclassify ~5% of hits as misses).
+    bank = ProxyBank(ProxyConfig(tolerance=proxy_tol, audit_fraction=0.0))
+
+    t0 = time.perf_counter()
+    for device in devices:
+        for _, stream, _ in warm_streams:
+            GPUSimulator(
+                device, cache=cache, proxy=bank.tier(device)
+            ).run_stream(stream)
+    warm_s = time.perf_counter() - t0
+    warm_hits = cache.stats.hits
+    warm_proxy = cache.stats.proxy_hits
+
+    t0 = time.perf_counter()
+    for device in devices:
+        for _, stream, _ in measure_streams:
+            GPUSimulator(
+                device, cache=cache, proxy=bank.tier(device)
+            ).run_stream(stream)
+    measure_s = time.perf_counter() - t0
+
+    exact_hits = cache.stats.hits - warm_hits
+    proxy_hits = cache.stats.proxy_hits - warm_proxy
+    effective = exact_hits + proxy_hits
+    lookups = sum(
+        len({l.kernel for l in stream}) for _, stream, _ in measure_streams
+    ) * len(devices)
+    multiplier = effective / max(1, exact_hits)
+    return {
+        "devices": len(devices),
+        "proxy_tol": proxy_tol,
+        "warm_s": warm_s,
+        "measure_s": measure_s,
+        "lookups": lookups,
+        "exact_hits": exact_hits,
+        "proxy_hits": proxy_hits,
+        "effective_hits": effective,
+        "exact_hit_rate": exact_hits / lookups if lookups else 0.0,
+        "effective_hit_rate": effective / lookups if lookups else 0.0,
+        "multiplier": multiplier,
+        "multiplier_ok": multiplier >= min_multiplier,
+        "min_multiplier": min_multiplier,
+        "total_s": measure_s,
+    }
+
+
+def run_benchmark(
+    preset_name: str,
+    warm_preset: str = "laptop",
+    workloads: Optional[Sequence[str]] = None,
+    devices=None,
+    n_queries: int = DEFAULT_QUERIES,
+    k: int = DEFAULT_KNN,
+    proxy_tol: float = DEFAULT_PROXY_TOL,
+    min_multiplier: float = DEFAULT_MIN_MULTIPLIER,
+    max_evals_ratio: float = DEFAULT_MAX_EVALS_RATIO,
+) -> Dict:
+    from repro.gpu import DEVICE_ZOO
+
+    if devices is None:
+        devices = list(DEVICE_ZOO.values())
+    selected = list(workloads or _CACTUS_ORDER)
+    measure_streams, mismatches = _streams(preset_name, selected)
+    warm_streams, warm_mismatches = _streams(warm_preset, selected)
+
+    index = bench_index_scaling(
+        measure_streams, n_queries, k, max_evals_ratio
+    )
+    proxy = bench_proxy_multiplier(
+        warm_streams, measure_streams, devices, proxy_tol, min_multiplier
+    )
+
+    failures = []
+    failures.extend(f"{abbr} (digest, {preset_name})" for abbr in mismatches)
+    failures.extend(
+        f"{abbr} (digest, {warm_preset})" for abbr in warm_mismatches
+    )
+    if not index["identical"]:
+        failures.append("index (tree != brute-force answers)")
+    if not index["sublinear_ok"]:
+        failures.append(
+            f"index (evals ratio {index['evals_ratio']:.3f} > "
+            f"{max_evals_ratio})"
+        )
+    if not proxy["multiplier_ok"]:
+        failures.append(
+            f"proxy (multiplier {proxy['multiplier']:.2f}x < "
+            f"{min_multiplier}x)"
+        )
+
+    return {
+        "schema": 1,
+        "preset": preset_name,
+        "warm_preset": warm_preset,
+        "generated_at_unix": time.time(),
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "devices": [d.name for d in devices],
+        "workloads": {"SIM-INDEX": index, "SIM-PROXY": proxy},
+        "combined_total_s": index["total_s"] + proxy["total_s"],
+        "failures": failures,
+    }
+
+
+def merge_into_pipeline_report(report: Dict, pipeline_path: Path) -> None:
+    """Append the SIM-* rows to an existing BENCH_pipeline.json."""
+    pipeline = json.loads(pipeline_path.read_text(encoding="utf-8"))
+    pipeline["workloads"].update(report["workloads"])
+    pipeline["similarity_evals_ratio"] = (
+        report["workloads"]["SIM-INDEX"]["evals_ratio"]
+    )
+    pipeline["proxy_multiplier"] = (
+        report["workloads"]["SIM-PROXY"]["multiplier"]
+    )
+    pipeline_path.write_text(
+        json.dumps(pipeline, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--preset", choices=_PRESETS, default="observation",
+        help="scale preset measured (default: observation)",
+    )
+    parser.add_argument(
+        "--warm-preset", choices=_PRESETS, default="laptop",
+        help="scale preset that warms the proxy corpus and exact cache "
+        "(default: laptop)",
+    )
+    parser.add_argument(
+        "--workloads", nargs="+", metavar="ABBR", default=None,
+        help="workload abbreviations (default: the full Cactus suite)",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=DEFAULT_QUERIES,
+        help=f"held-out k-NN queries (default: {DEFAULT_QUERIES})",
+    )
+    parser.add_argument(
+        "--proxy-tol", type=float, default=DEFAULT_PROXY_TOL,
+        help="proxy tolerance for the multiplier experiment "
+        f"(default: {DEFAULT_PROXY_TOL})",
+    )
+    parser.add_argument(
+        "--min-multiplier", type=float, default=DEFAULT_MIN_MULTIPLIER,
+        help="fail below this effective/exact hit multiplier "
+        f"(default: {DEFAULT_MIN_MULTIPLIER}x; count-based, not timing)",
+    )
+    parser.add_argument(
+        "--max-evals-ratio", type=float, default=DEFAULT_MAX_EVALS_RATIO,
+        help="fail above this tree/brute distance-eval ratio at full "
+        f"corpus size (default: {DEFAULT_MAX_EVALS_RATIO}; count-based)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help=f"where to write the report (default: {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--merge-into", type=Path, default=None, metavar="PIPELINE_JSON",
+        help="also merge the SIM-* entries into this existing "
+        "BENCH_pipeline.json so the shared regression gate covers them",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(
+        args.preset,
+        warm_preset=args.warm_preset,
+        workloads=args.workloads,
+        n_queries=args.queries,
+        proxy_tol=args.proxy_tol,
+        min_multiplier=args.min_multiplier,
+        max_evals_ratio=args.max_evals_ratio,
+    )
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    if args.merge_into is not None:
+        merge_into_pipeline_report(report, args.merge_into)
+
+    index = report["workloads"]["SIM-INDEX"]
+    for row in index["scaling"]:
+        print(
+            f"corpus {row['corpus']:>5}  build {row['build_s']*1e3:7.1f}ms  "
+            f"tree {row['tree_evals']:>7} evals  "
+            f"brute {row['brute_evals']:>7} evals  "
+            f"ratio {row['evals_ratio']:.3f}  "
+            f"[{'ok' if row['identical'] else 'DIVERGED'}]"
+        )
+    proxy = report["workloads"]["SIM-PROXY"]
+    print(
+        f"proxy: {proxy['exact_hits']} exact + {proxy['proxy_hits']} proxy "
+        f"= {proxy['effective_hits']}/{proxy['lookups']} lookups "
+        f"({proxy['effective_hit_rate']:.1%} effective vs "
+        f"{proxy['exact_hit_rate']:.1%} exact) -> "
+        f"{proxy['multiplier']:.2f}x over {proxy['devices']} devices "
+        f"at tol {proxy['proxy_tol']} -> {args.output}"
+    )
+    if report["failures"]:
+        print(
+            "FAIL: " + ", ".join(report["failures"]), file=sys.stderr
+        )
+        return 1
+    return 0
+
+
+# -- pytest coverage (laptop-scale, deterministic gates only) ----------
+def test_similarity_bench_gates(tmp_path):
+    from repro.gpu import DEVICE_ZOO
+
+    devices = list(DEVICE_ZOO.values())[:2]
+    report = run_benchmark(
+        "observation",
+        warm_preset="laptop",
+        workloads=["GRU", "GST"],
+        devices=devices,
+        n_queries=16,
+    )
+    out = tmp_path / "BENCH_similarity.json"
+    out.write_text(json.dumps(report), encoding="utf-8")
+    assert report["failures"] == []
+    index = report["workloads"]["SIM-INDEX"]
+    assert index["identical"] is True
+    assert index["sublinear_ok"] is True
+    proxy = report["workloads"]["SIM-PROXY"]
+    assert proxy["proxy_hits"] > 0
+    assert proxy["multiplier"] >= DEFAULT_MIN_MULTIPLIER
+
+
+def test_merge_into_pipeline_report(tmp_path):
+    from repro.gpu import DEVICE_ZOO
+
+    pipeline = tmp_path / "BENCH_pipeline.json"
+    pipeline.write_text(
+        json.dumps(
+            {"schema": 1, "preset": "laptop",
+             "workloads": {"GST": {"total_s": 0.1}}}
+        ),
+        encoding="utf-8",
+    )
+    report = run_benchmark(
+        "laptop",
+        warm_preset="laptop",
+        workloads=["GST"],
+        devices=list(DEVICE_ZOO.values())[:1],
+        n_queries=4,
+        min_multiplier=0.0,  # same-preset warm: exact hits dominate
+    )
+    merge_into_pipeline_report(report, pipeline)
+    merged = json.loads(pipeline.read_text(encoding="utf-8"))
+    assert set(merged["workloads"]) == {"GST", "SIM-INDEX", "SIM-PROXY"}
+    assert "proxy_multiplier" in merged
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -48,18 +49,39 @@ def load_report(path: Path) -> Dict:
     return payload
 
 
+def schema_problem(entry) -> Optional[str]:
+    """Why *entry* cannot be timing-compared, or None if it can.
+
+    The gate only ever reads ``total_s``, so that is the schema: a
+    finite, non-negative number.  Entries violating it (null
+    placeholders, strings, missing keys from hand-edited baselines) are
+    skipped *explicitly* — reported, never silently compared as 0.
+    """
+    if not isinstance(entry, dict):
+        return f"entry is {type(entry).__name__}, not an object"
+    total = entry.get("total_s")
+    if isinstance(total, bool) or not isinstance(total, (int, float)):
+        return f"total_s is {total!r}, not a number"
+    if not math.isfinite(total) or total < 0:
+        return f"total_s is {total!r}, not finite and >= 0"
+    return None
+
+
 def compare(
     baseline: Dict,
     fresh: Dict,
     tolerance: float = DEFAULT_TOLERANCE,
     min_seconds: float = DEFAULT_MIN_SECONDS,
+    skipped: Optional[List[str]] = None,
 ) -> List[str]:
     """Regression messages (empty list = gate passes).
 
     A timing regresses when ``fresh > baseline * tolerance`` AND
     ``fresh - baseline > min_seconds``; everything else — speedups,
     small absolute drifts, workloads absent from either side — is
-    informational only.
+    informational only.  Entries failing :func:`schema_problem` on
+    either side are excluded from the comparison and appended to
+    *skipped* (when given) as ``"<key>: <reason>"`` strings.
     """
     if baseline.get("preset") != fresh.get("preset"):
         return [
@@ -84,6 +106,14 @@ def compare(
         reference = base_workloads.get(abbr)
         if reference is None:
             continue  # new workload: informational, never gating
+        problem = schema_problem(entry)
+        if problem is None:
+            base_problem = schema_problem(reference)
+            problem = f"baseline {base_problem}" if base_problem else None
+        if problem is not None:
+            if skipped is not None:
+                skipped.append(f"{abbr}: {problem}")
+            continue
         check(f"{abbr} total", reference["total_s"], entry["total_s"])
         shared_base += float(reference["total_s"])
         shared_fresh += float(entry["total_s"])
@@ -130,18 +160,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         set(baseline.get("workloads", {})) & set(fresh.get("workloads", {}))
     )
     for abbr in shared:
-        base_s = baseline["workloads"][abbr]["total_s"]
-        fresh_s = fresh["workloads"][abbr]["total_s"]
+        base_entry = baseline["workloads"][abbr]
+        fresh_entry = fresh["workloads"][abbr]
+        if schema_problem(base_entry) or schema_problem(fresh_entry):
+            print(f"{abbr:<5} skipped (schema)")
+            continue
+        base_s = base_entry["total_s"]
+        fresh_s = fresh_entry["total_s"]
         ratio = fresh_s / base_s if base_s else float("inf")
         print(
             f"{abbr:<5} baseline {base_s:7.3f}s  fresh {fresh_s:7.3f}s  "
             f"({ratio:5.2f}x)"
         )
 
+    skipped: List[str] = []
     regressions = compare(
         baseline, fresh, tolerance=args.tolerance,
-        min_seconds=args.min_seconds,
+        min_seconds=args.min_seconds, skipped=skipped,
     )
+    if skipped:
+        print("\nskipped (schema) — excluded from the gate:")
+        for message in skipped:
+            print(f"  {message}")
     if regressions:
         print("\nFAIL: gross benchmark regressions:", file=sys.stderr)
         for message in regressions:
@@ -203,6 +243,37 @@ def test_preset_mismatch_fails():
     fresh = _report("laptop", {"GMS": 1.0})
     messages = compare(baseline, fresh)
     assert len(messages) == 1 and "preset mismatch" in messages[0]
+
+
+def test_schema_invalid_entries_skip_explicitly():
+    baseline = _report("observation", {"GMS": 1.0, "GST": 0.5})
+    fresh = _report("observation", {"GMS": 1.0, "GST": 0.5})
+    # A null placeholder, a string, a NaN, and a missing total_s must
+    # each be skipped with a reason — not compared, not crash the gate.
+    baseline["workloads"]["SWEEP-A"] = {"total_s": None}
+    fresh["workloads"]["SWEEP-A"] = {"total_s": 0.1}
+    baseline["workloads"]["SWEEP-B"] = {"total_s": 0.1}
+    fresh["workloads"]["SWEEP-B"] = {"total_s": "fast"}
+    baseline["workloads"]["SWEEP-C"] = {"total_s": 0.1}
+    fresh["workloads"]["SWEEP-C"] = {"total_s": float("nan")}
+    baseline["workloads"]["SWEEP-D"] = {"launches": 10}
+    fresh["workloads"]["SWEEP-D"] = {"total_s": 99.0}
+    skipped: List[str] = []
+    assert compare(baseline, fresh, skipped=skipped) == []
+    assert sorted(m.split(":")[0] for m in skipped) == [
+        "SWEEP-A", "SWEEP-B", "SWEEP-C", "SWEEP-D",
+    ]
+
+
+def test_schema_problem_reasons():
+    assert schema_problem({"total_s": 0.5}) is None
+    assert schema_problem({"total_s": 0}) is None
+    assert "not a number" in schema_problem({"total_s": None})
+    assert "not a number" in schema_problem({"total_s": True})
+    assert "not a number" in schema_problem({})
+    assert "not finite" in schema_problem({"total_s": float("inf")})
+    assert "not finite" in schema_problem({"total_s": -1.0})
+    assert "not an object" in schema_problem([1, 2])
 
 
 if __name__ == "__main__":

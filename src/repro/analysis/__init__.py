@@ -15,6 +15,9 @@
 * :mod:`~repro.analysis.sweep` — cross-device differentials (roofline
   elbows, classification flips, dominant-kernel shifts) over a device
   sweep.
+* :mod:`~repro.analysis.similarity` — kernel-similarity index
+  (VP-tree nearest / k-NN / representative-subset queries over
+  standardized feature vectors; backs the proxy cache tier).
 """
 
 from repro.analysis.clustering import (
@@ -48,6 +51,14 @@ from repro.analysis.subsetting import (
     redundancy_report,
     representatives_for_coverage,
     select_representatives,
+)
+from repro.analysis.similarity import (
+    METRIC_FEATURES,
+    STRUCTURAL_FEATURES,
+    KernelIndex,
+    Neighbor,
+    kernel_features,
+    metric_features,
 )
 from repro.analysis.survey import SURVEY_COUNTS, survey_table
 from repro.analysis.sweep import (
@@ -83,6 +94,12 @@ __all__ = [
     "redundancy_report",
     "representatives_for_coverage",
     "select_representatives",
+    "METRIC_FEATURES",
+    "STRUCTURAL_FEATURES",
+    "KernelIndex",
+    "Neighbor",
+    "kernel_features",
+    "metric_features",
     "SURVEY_COUNTS",
     "survey_table",
     "DeviceElbowRow",

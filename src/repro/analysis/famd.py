@@ -48,11 +48,27 @@ class FAMDResult:
         return int(np.searchsorted(cumulative, target - 1e-12) + 1)
 
 
-def _standardize_quantitative(matrix: np.ndarray) -> np.ndarray:
+def standardize_columns(
+    matrix: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Zero-mean / unit-variance standardization, column-wise.
+
+    Returns ``(standardized, mean, std)`` where degenerate columns
+    (zero variance) keep ``std = 1`` so they standardize to exactly 0
+    instead of NaN.  This is the quantitative-block preprocessing FAMD
+    applies before its SVD; :mod:`repro.analysis.similarity` reuses the
+    same fit to place kernel feature vectors in a comparable space.
+    """
+    matrix = np.asarray(matrix, dtype=float)
     mean = matrix.mean(axis=0)
     std = matrix.std(axis=0)
     std = np.where(std > 0, std, 1.0)
-    return (matrix - mean) / std
+    return (matrix - mean) / std, mean, std
+
+
+def _standardize_quantitative(matrix: np.ndarray) -> np.ndarray:
+    standardized, _, _ = standardize_columns(matrix)
+    return standardized
 
 
 def _encode_qualitative(

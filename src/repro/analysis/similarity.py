@@ -1,0 +1,450 @@
+"""Kernel-similarity index over characterized-kernel feature vectors.
+
+The content-addressed result cache is an ever-growing corpus of
+characterized kernels, but exact-key lookups only ever reuse a result
+for a *bit-identical* kernel.  Most launches in a suite are
+near-duplicates of kernels already simulated (a BFS level with a
+slightly different frontier, an MD step with a handful more pairs), so
+similarity search over the corpus answers two new kinds of question:
+
+* **analysis** — "which known kernel is this most like?", "what is the
+  smallest representative subset of this corpus?" (the subsetting
+  workflow of :mod:`repro.analysis.subsetting`, now sublinear);
+* **reuse** — "is a cached result close enough to stand in for this
+  kernel?" (the proxy tier in :mod:`repro.core.proxy`).
+
+Feature space
+-------------
+
+:func:`kernel_features` maps a pre-simulation
+:class:`~repro.gpu.kernel.KernelCharacteristics` to a fixed vector of
+**every quantity the analytical timing model reads** — geometry,
+instruction mix, ILP/MLP, and the memory footprint (sizes in log10 so
+a 2x work difference is the same distance at every scale).  Two kernels
+with equal feature vectors therefore produce bit-identical metrics,
+which is what makes a zero-tolerance proxy exact.
+:func:`metric_features` is the post-simulation counterpart over
+:class:`~repro.gpu.metrics.KernelMetrics` (roofline coordinates plus
+the Table IV vocabulary) for corpus analytics.
+
+Vectors are standardized with the same zero-mean/unit-variance fit
+FAMD applies to its quantitative block
+(:func:`repro.analysis.famd.standardize_columns`), so distances weigh
+each feature by its corpus-wide spread rather than its unit.
+
+Index structure
+---------------
+
+:class:`KernelIndex` holds ``(key, raw vector, payload)`` items and
+answers nearest / k-NN / representative-subset queries through a
+**vantage-point tree** over the standardized vectors — sublinear node
+visits on clustered corpora — with a brute-force scan as the reference
+implementation (``use_tree=False``); the two are differentially pinned
+to return identical answers.  Determinism contract: the fit and the
+tree are always built from items sorted by key, ties are broken by
+``(distance, key)``, so **answers are invariant to insertion order**.
+The index is rebuilt lazily on the first query after a mutation
+(additions arrive in bursts — one per simulated wave — so rebuilds are
+rare and O(n log n)).
+
+``distance_evals`` counts vector-distance computations, the
+machine-independent cost measure ``benchmarks/bench_similarity.py``
+uses to demonstrate sublinear query scaling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.famd import standardize_columns
+from repro.analysis.subsetting import (
+    SubsetResult,
+    representatives_for_coverage,
+    select_representatives,
+)
+from repro.gpu.kernel import KernelCharacteristics
+from repro.gpu.metrics import KernelMetrics
+
+__all__ = [
+    "STRUCTURAL_FEATURES",
+    "METRIC_FEATURES",
+    "KernelIndex",
+    "Neighbor",
+    "kernel_features",
+    "metric_features",
+]
+
+#: Pre-simulation feature names, in vector order.  Complete over the
+#: timing-model inputs: equal vectors ⇒ bit-identical simulated metrics.
+STRUCTURAL_FEATURES: Tuple[str, ...] = (
+    "log_warp_insts",
+    "log_grid_blocks",
+    "warps_per_block",
+    "ilp",
+    "mlp",
+    "mix_fp32",
+    "mix_ld_st",
+    "mix_branch",
+    "mix_sync",
+    "log_bytes_read",
+    "log_bytes_written",
+    "log_reuse_factor",
+    "l1_locality",
+    "coalescence",
+    "l2_carry_in",
+    "log_working_set",
+)
+
+#: Post-simulation feature names (corpus analytics / CLI queries).
+METRIC_FEATURES: Tuple[str, ...] = (
+    "log_gips",
+    "log_instruction_intensity",
+    "warp_occupancy",
+    "sm_efficiency",
+    "l1_hit_rate",
+    "l2_hit_rate",
+    "ld_st_utilization",
+    "sp_utilization",
+    "fraction_branches",
+    "fraction_ld_st",
+    "execution_stall",
+    "pipe_stall",
+    "sync_stall",
+    "memory_stall",
+)
+
+
+def _log10p(value: float) -> float:
+    return math.log10(1.0 + value)
+
+
+def kernel_features(kernel: KernelCharacteristics) -> np.ndarray:
+    """Structural feature vector of one kernel (STRUCTURAL_FEATURES order)."""
+    memory = kernel.memory
+    return np.array(
+        [
+            math.log10(kernel.warp_insts),
+            math.log10(kernel.grid_blocks),
+            float(kernel.warps_per_block),
+            kernel.ilp,
+            kernel.mlp,
+            kernel.mix.fp32,
+            kernel.mix.ld_st,
+            kernel.mix.branch,
+            kernel.mix.sync,
+            _log10p(memory.bytes_read),
+            _log10p(memory.bytes_written),
+            math.log10(memory.reuse_factor),
+            memory.l1_locality,
+            memory.coalescence,
+            memory.l2_carry_in,
+            _log10p(memory.effective_working_set),
+        ],
+        dtype=np.float64,
+    )
+
+
+def metric_features(metrics: KernelMetrics) -> np.ndarray:
+    """Post-simulation feature vector (METRIC_FEATURES order)."""
+    return np.array(
+        [
+            _log10p(metrics.gips),
+            _log10p(metrics.instruction_intensity),
+            metrics.warp_occupancy,
+            metrics.sm_efficiency,
+            metrics.l1_hit_rate,
+            metrics.l2_hit_rate,
+            metrics.ld_st_utilization,
+            metrics.sp_utilization,
+            metrics.fraction_branches,
+            metrics.fraction_ld_st,
+            metrics.execution_stall,
+            metrics.pipe_stall,
+            metrics.sync_stall,
+            metrics.memory_stall,
+        ],
+        dtype=np.float64,
+    )
+
+
+@dataclass(frozen=True)
+class Neighbor:
+    """One similarity-query answer."""
+
+    key: str
+    #: Euclidean distance in the standardized feature space.
+    distance: float
+    payload: Any
+    #: True when the *raw* feature vectors are exactly equal — stronger
+    #: than ``distance == 0`` (a zero-variance column standardizes every
+    #: value to 0, hiding raw differences).  This is the condition the
+    #: zero-tolerance proxy requires for bit-exact reuse.
+    exact: bool
+
+
+_LEAF_SIZE = 16
+
+
+class _Node:
+    """One vantage-point tree node over standardized row indices."""
+
+    __slots__ = ("vantage", "radius", "inside", "outside", "leaf")
+
+    def __init__(
+        self,
+        vantage: int = -1,
+        radius: float = 0.0,
+        inside: Optional["_Node"] = None,
+        outside: Optional["_Node"] = None,
+        leaf: Optional[np.ndarray] = None,
+    ) -> None:
+        self.vantage = vantage
+        self.radius = radius
+        self.inside = inside
+        self.outside = outside
+        self.leaf = leaf
+
+
+class KernelIndex:
+    """Similarity index over named kernel feature vectors.
+
+    Parameters
+    ----------
+    feature_names:
+        Names of the vector components (defaults to the structural
+        space); only used for validation and introspection.
+    use_tree:
+        ``True`` (default) answers queries through the VP-tree;
+        ``False`` is the brute-force reference path.  Both return
+        identical answers (differentially tested) — the flag exists so
+        the equivalence is checkable and the benchmark has a baseline.
+    """
+
+    def __init__(
+        self,
+        feature_names: Sequence[str] = STRUCTURAL_FEATURES,
+        use_tree: bool = True,
+    ) -> None:
+        self.feature_names = tuple(feature_names)
+        self.use_tree = use_tree
+        self._items: Dict[str, Tuple[np.ndarray, Any]] = {}
+        self._dirty = True
+        # Built state (valid when not dirty):
+        self._keys: List[str] = []
+        self._raw: Optional[np.ndarray] = None
+        self._points: Optional[np.ndarray] = None
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+        self._root: Optional[_Node] = None
+        #: Vector-distance computations across all queries so far — the
+        #: machine-independent query-cost measure.
+        self.distance_evals = 0
+        #: Full (fit + tree) rebuilds performed.
+        self.builds = 0
+
+    # -- corpus management --------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def add(self, key: str, vector: np.ndarray, payload: Any = None) -> None:
+        """Insert (or replace) one item.  O(1); the next query rebuilds."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (len(self.feature_names),):
+            raise ValueError(
+                f"expected a {len(self.feature_names)}-feature vector, "
+                f"got shape {vector.shape}"
+            )
+        if not np.isfinite(vector).all():
+            raise ValueError(f"non-finite feature vector for {key!r}")
+        self._items[key] = (vector, payload)
+        self._dirty = True
+
+    def keys(self) -> List[str]:
+        return sorted(self._items)
+
+    # -- build ---------------------------------------------------------
+    def build(self) -> None:
+        """(Re)fit standardization and rebuild the tree.
+
+        Deterministic regardless of insertion order: items are processed
+        sorted by key, and tree partitions use stable distance ordering.
+        """
+        if not self._dirty:
+            return
+        self._keys = sorted(self._items)
+        self._raw = np.array(
+            [self._items[k][0] for k in self._keys], dtype=np.float64
+        )
+        if len(self._keys) == 0:
+            self._points = None
+            self._root = None
+            self._dirty = False
+            return
+        self._points, self._mean, self._std = standardize_columns(self._raw)
+        self._root = (
+            self._build_node(np.arange(len(self._keys)))
+            if self.use_tree
+            else None
+        )
+        self.builds += 1
+        self._dirty = False
+
+    def _build_node(self, rows: np.ndarray) -> _Node:
+        if len(rows) <= _LEAF_SIZE:
+            return _Node(leaf=rows)
+        assert self._points is not None
+        vantage = int(rows[0])
+        rest = rows[1:]
+        dist = np.sqrt(
+            ((self._points[rest] - self._points[vantage]) ** 2).sum(axis=1)
+        )
+        order = np.argsort(dist, kind="stable")
+        mid = len(rest) // 2
+        inside_rows = rest[order[:mid]]
+        outside_rows = rest[order[mid:]]
+        radius = float(dist[order[mid - 1]]) if mid > 0 else 0.0
+        return _Node(
+            vantage=vantage,
+            radius=radius,
+            inside=self._build_node(inside_rows),
+            outside=self._build_node(outside_rows),
+        )
+
+    def _standardize_query(self, vector: np.ndarray) -> np.ndarray:
+        assert self._mean is not None and self._std is not None
+        return (np.asarray(vector, dtype=np.float64) - self._mean) / self._std
+
+    # -- queries -------------------------------------------------------
+    def nearest(
+        self, vector: np.ndarray, exclude: Optional[str] = None
+    ) -> Optional[Neighbor]:
+        """The closest item (ties by key), or None on an empty corpus."""
+        found = self.knn(vector, 1, exclude=exclude)
+        return found[0] if found else None
+
+    def knn(
+        self, vector: np.ndarray, k: int, exclude: Optional[str] = None
+    ) -> List[Neighbor]:
+        """The k nearest items, sorted by ``(distance, key)``."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.build()
+        if not self._keys or (exclude is not None and len(self._keys) == 1
+                              and self._keys[0] == exclude):
+            return []
+        query = self._standardize_query(vector)
+        if self.use_tree:
+            candidates = self._knn_tree(query, k, exclude)
+        else:
+            candidates = self._knn_brute(query, k, exclude)
+        return [self._neighbor(row, dist, vector) for dist, _, row in candidates]
+
+    def brute_knn(
+        self, vector: np.ndarray, k: int, exclude: Optional[str] = None
+    ) -> List[Neighbor]:
+        """Reference answer: full scan (the differential-test oracle)."""
+        self.build()
+        if not self._keys:
+            return []
+        query = self._standardize_query(vector)
+        candidates = self._knn_brute(query, k, exclude)
+        return [self._neighbor(row, dist, vector) for dist, _, row in candidates]
+
+    def _neighbor(
+        self, row: int, dist: float, raw_query: np.ndarray
+    ) -> Neighbor:
+        assert self._raw is not None
+        key = self._keys[row]
+        exact = bool(
+            np.array_equal(self._raw[row], np.asarray(raw_query, dtype=np.float64))
+        )
+        return Neighbor(
+            key=key, distance=dist, payload=self._items[key][1], exact=exact
+        )
+
+    def _knn_brute(
+        self, query: np.ndarray, k: int, exclude: Optional[str]
+    ) -> List[Tuple[float, str, int]]:
+        assert self._points is not None
+        dist = np.sqrt(((self._points - query) ** 2).sum(axis=1))
+        self.distance_evals += len(dist)
+        ranked = sorted(
+            (float(dist[row]), self._keys[row], row)
+            for row in range(len(self._keys))
+            if self._keys[row] != exclude
+        )
+        return ranked[:k]
+
+    def _knn_tree(
+        self, query: np.ndarray, k: int, exclude: Optional[str]
+    ) -> List[Tuple[float, str, int]]:
+        points = self._points
+        assert points is not None and self._root is not None
+        best: List[Tuple[float, str, int]] = []  # sorted, at most k
+
+        def offer(dist: float, row: int) -> None:
+            key = self._keys[row]
+            if key == exclude:
+                return
+            entry = (dist, key, row)
+            if len(best) < k:
+                best.append(entry)
+                best.sort()
+            elif entry < best[-1]:
+                best[-1] = entry
+                best.sort()
+
+        def tau() -> float:
+            return best[-1][0] if len(best) == k else math.inf
+
+        def visit(node: _Node) -> None:
+            if node.leaf is not None:
+                dist = np.sqrt(((points[node.leaf] - query) ** 2).sum(axis=1))
+                self.distance_evals += len(node.leaf)
+                for i, row in enumerate(node.leaf):
+                    offer(float(dist[i]), int(row))
+                return
+            d_v = float(np.sqrt(((points[node.vantage] - query) ** 2).sum()))
+            self.distance_evals += 1
+            offer(d_v, node.vantage)
+            assert node.inside is not None and node.outside is not None
+            # Triangle-inequality bounds: inside holds rows with
+            # d(row, vantage) <= radius, outside rows with >= radius.
+            # Prune only on a *strict* bound violation (non-strict
+            # visit conditions) so equal-distance ties are never
+            # dropped; tie order is then resolved by the
+            # (distance, key) sort, keeping answers insertion-order
+            # invariant.  Visit the likelier side first to shrink tau
+            # before testing the other side.
+            if d_v <= node.radius:
+                visit(node.inside)
+                if d_v + tau() >= node.radius:
+                    visit(node.outside)
+            else:
+                visit(node.outside)
+                if d_v - tau() <= node.radius:
+                    visit(node.inside)
+
+        visit(self._root)
+        return best
+
+    # -- representative subsets ---------------------------------------
+    def _built_points(self) -> Tuple[np.ndarray, List[str]]:
+        self.build()
+        if self._points is None:
+            raise ValueError("representative queries need a non-empty index")
+        return self._points, list(self._keys)
+
+    def representative_subset(self, k: int) -> SubsetResult:
+        """k-medoids representatives over the standardized corpus."""
+        points, labels = self._built_points()
+        return select_representatives(points, labels, k)
+
+    def representatives_for_target(self, coverage: float) -> SubsetResult:
+        """Smallest representative subset reaching *coverage* (in (0,1])."""
+        points, labels = self._built_points()
+        return representatives_for_coverage(points, labels, coverage)

@@ -20,6 +20,12 @@ Commands
     dominant-kernel shifts.
 ``trace ABBR PATH``
     Export a workload's kernel launch stream as a JSONL trace.
+``cache``
+    Inspect the persistent result cache: entry counts, schema
+    version directory, and optional pruning of stale version trees.
+``similar``
+    Build a kernel-similarity index over a suite run and answer
+    nearest-neighbour or representative-subset queries.
 """
 
 from __future__ import annotations
@@ -106,6 +112,20 @@ def _timeout_arg(text: str) -> float:
     return value
 
 
+def _proxy_tol_arg(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative distance, got {text!r}"
+        ) from None
+    if not math.isfinite(value) or value < 0:
+        raise argparse.ArgumentTypeError(
+            f"proxy tolerance must be finite and >= 0, got {text!r}"
+        )
+    return value
+
+
 def _env_default(name: str, convert):
     """Validated default from an environment variable (None if unset).
 
@@ -128,7 +148,8 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Cactus (IISWC 2021) reproduction pipeline",
         epilog=(
             "Environment: REPRO_CACHE_DIR, REPRO_JOBS, REPRO_RETRIES, "
-            "REPRO_TIMEOUT, REPRO_JOURNAL_DIR and REPRO_TRACE_DIR "
+            "REPRO_TIMEOUT, REPRO_JOURNAL_DIR, REPRO_PROXY_TOL and "
+            "REPRO_TRACE_DIR "
             "provide defaults for the matching flags; an explicit flag "
             "always overrides its environment variable. "
             "Failure semantics: suite commands "
@@ -206,6 +227,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "interrupted run with identical parameters resumes there "
         "and skips finished workloads (default: $REPRO_JOURNAL_DIR, "
         "else no journal)",
+    )
+    parser.add_argument(
+        "--proxy-tol",
+        type=_proxy_tol_arg,
+        default=_env_default("REPRO_PROXY_TOL", _proxy_tol_arg),
+        metavar="DIST",
+        help="opt into the similarity-proxy tier for suite-level "
+        "commands: kernels within DIST of an already-simulated one "
+        "(standardized feature space) reuse its metrics instead of "
+        "simulating; 0 accepts exact structural duplicates only "
+        "(default: $REPRO_PROXY_TOL, else off — bit-exact runs)",
     )
     trace_mode = parser.add_mutually_exclusive_group()
     trace_mode.add_argument(
@@ -291,6 +323,72 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("abbr")
     trace.add_argument("path")
     trace.add_argument("--scale", type=float, default=0.1)
+
+    cache_cmd = sub.add_parser(
+        "cache",
+        help="inspect (and optionally prune) the persistent result cache",
+        description=(
+            "Prints the persistent cache location, schema version "
+            "directory, and entry count for the --cache-dir (or "
+            "$REPRO_CACHE_DIR) tree.  --prune removes version trees "
+            "left behind by older cache schemas."
+        ),
+    )
+    cache_cmd.add_argument(
+        "--prune",
+        action="store_true",
+        help="delete persistent trees of older cache schema versions",
+    )
+
+    similar = sub.add_parser(
+        "similar",
+        help="query the kernel-similarity index over a suite run",
+        description=(
+            "Characterizes the suite, builds a KernelIndex over the "
+            "per-kernel metric feature vectors (keys are ABBR:kernel), "
+            "and answers one query: --query KEY lists the k nearest "
+            "kernels; --representatives N picks N medoid kernels; "
+            "--coverage F picks the smallest subset reaching coverage "
+            "F."
+        ),
+    )
+    query_sel = similar.add_mutually_exclusive_group(required=True)
+    query_sel.add_argument(
+        "--query",
+        metavar="ABBR:KERNEL",
+        help="list the nearest neighbours of this kernel",
+    )
+    query_sel.add_argument(
+        "--representatives",
+        type=int,
+        metavar="N",
+        help="select N representative kernels (k-medoids)",
+    )
+    query_sel.add_argument(
+        "--coverage",
+        type=float,
+        metavar="FRACTION",
+        help="select the smallest representative subset reaching this "
+        "coverage in (0, 1]",
+    )
+    similar.add_argument(
+        "-k",
+        type=int,
+        default=5,
+        metavar="N",
+        help="neighbours to list for --query (default: 5)",
+    )
+    similar.add_argument(
+        "--suite",
+        default="Cactus",
+        help="suite to index (default: Cactus)",
+    )
+    similar.add_argument(
+        "--workloads",
+        metavar="ABBR[,ABBR...]",
+        default=None,
+        help="restrict the corpus to these workload abbreviations",
+    )
 
     return parser
 
@@ -461,6 +559,111 @@ def _cmd_sweep(args, run_kwargs) -> int:
     return 0
 
 
+def _cmd_cache(args, cache: Optional[ResultCache]) -> int:
+    if cache is None:
+        print("repro: error: cache disabled (--no-cache)", file=sys.stderr)
+        return 2
+    if cache.cache_dir is None:
+        print(
+            "cache: in-memory only (set --cache-dir or $REPRO_CACHE_DIR "
+            "for a persistent tree)"
+        )
+        return 0
+    print(f"cache dir:    {cache.cache_dir}")
+    print(f"version dir:  {cache.version_dir}")
+    print(f"entries:      {cache.persistent_entries()}")
+    if args.prune:
+        removed = cache.prune()
+        print(f"pruned:       {removed} stale version tree(s)")
+    print(f"stats:        {cache.stats.render()}")
+    return 0
+
+
+def _cmd_similar(args, run_kwargs) -> int:
+    from repro.analysis.similarity import (
+        METRIC_FEATURES,
+        KernelIndex,
+        metric_features,
+    )
+
+    workloads = (
+        [w for w in args.workloads.split(",") if w.strip()]
+        if args.workloads
+        else None
+    )
+    result = run_suite(
+        [args.suite], workloads=workloads, **run_kwargs
+    )
+    _print_failures(result)
+
+    index = KernelIndex(feature_names=METRIC_FEATURES)
+    profiles: dict = {}
+    for abbr, char in result.results.items():
+        for kernel in char.profile.kernels:
+            key = f"{abbr}:{kernel.name}"
+            index.add(key, metric_features(kernel.metrics), kernel)
+            profiles[key] = kernel
+    if not profiles:
+        print("repro: error: empty corpus (no kernels)", file=sys.stderr)
+        return 1
+    print(
+        f"index: {len(profiles)} kernels from {len(result.results)} "
+        f"workload(s) over {len(METRIC_FEATURES)} metric features"
+    )
+
+    if args.query is not None:
+        if args.query not in profiles:
+            print(
+                f"repro: error: unknown kernel key {args.query!r} "
+                f"(keys look like ABBR:kernel_name)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.k < 1:
+            print("repro: error: -k must be >= 1", file=sys.stderr)
+            return 2
+        vector = metric_features(profiles[args.query].metrics)
+        neighbors = index.knn(vector, args.k, exclude=args.query)
+        print(f"nearest {len(neighbors)} to {args.query}:")
+        for rank, neighbor in enumerate(neighbors, start=1):
+            marker = "  (exact)" if neighbor.exact else ""
+            print(
+                f"  {rank:>2}. {neighbor.key:<52} "
+                f"d={neighbor.distance:.4f}{marker}"
+            )
+        return 0
+
+    if args.representatives is not None:
+        if not 1 <= args.representatives <= len(profiles):
+            print(
+                f"repro: error: --representatives must be in "
+                f"[1, {len(profiles)}]",
+                file=sys.stderr,
+            )
+            return 2
+        subset = index.representative_subset(args.representatives)
+    else:
+        if not 0 < args.coverage <= 1:
+            print(
+                "repro: error: --coverage must be in (0, 1]",
+                file=sys.stderr,
+            )
+            return 2
+        subset = index.representatives_for_target(args.coverage)
+    print(
+        f"representatives ({len(subset.representative_labels)} kernels, "
+        f"coverage {subset.coverage:.3f}):"
+    )
+    for label in subset.representative_labels:
+        kernel = profiles[label]
+        print(
+            f"  {label:<52} {kernel.total_time_s:10.3e} s "
+            f"x{kernel.invocations}"
+        )
+    _print_cache_stats(run_kwargs["cache"])
+    return 0
+
+
 def _cmd_trace(abbr: str, path: str, scale: float) -> int:
     from repro.profiler import export_trace
 
@@ -508,11 +711,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "keep_going": not args.strict,
         "journal_dir": args.journal_dir,
         "trace_dir": trace_dir,
+        "proxy_tol": args.proxy_tol,
     }
     if args.command == "list":
         return _cmd_list()
     if args.command == "characterize":
         return _cmd_characterize(args.abbr, args.scale)
+    if args.command == "cache":
+        return _cmd_cache(args, cache)
     try:
         if args.command == "table1":
             return _cmd_table1(run_kwargs)
@@ -522,6 +728,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_report(args.output, args.with_prt, run_kwargs)
         if args.command == "sweep":
             return _cmd_sweep(args, run_kwargs)
+        if args.command == "similar":
+            return _cmd_similar(args, run_kwargs)
     except SuiteRunError as exc:
         # --strict: a workload failed terminally.  The partial report
         # (with every completed characterization) rode along on the

@@ -57,6 +57,7 @@ from repro.core.characterize import (
 )
 from repro.core.config import LAPTOP_SCALE, ScalePreset
 from repro.core.journal import RunJournal, SweepJournal
+from repro.core.proxy import ProxyBank, ProxyConfig, ProxyTier
 from repro.core.streamcache import StreamCache
 from repro.core.resilience import (
     RetryPolicy,
@@ -87,6 +88,20 @@ def _resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+def _proxy_tier_for_worker(
+    proxy_tol: Optional[float],
+    proxy_audit_fraction: float,
+    tracer,
+) -> Optional[ProxyTier]:
+    """Worker-local similarity-proxy tier (corpus scoped to the worker)."""
+    if proxy_tol is None:
+        return None
+    return ProxyTier(
+        ProxyConfig(proxy_tol, audit_fraction=proxy_audit_fraction),
+        tracer=tracer,
+    )
+
+
 def _characterize_one(
     abbr: str,
     scale: float,
@@ -97,6 +112,8 @@ def _characterize_one(
     attempt: int = 1,
     fault_plan: Optional["FaultPlan"] = None,
     handoff: Optional[TraceHandoff] = None,
+    proxy_tol: Optional[float] = None,
+    proxy_audit_fraction: float = 0.05,
 ) -> Tuple[str, Characterization, CacheStats, Optional[dict]]:
     """Worker body: characterize one workload from its identity.
 
@@ -129,7 +146,13 @@ def _characterize_one(
                 fault_plan.before(abbr, attempt)
             profiler = Profiler(
                 simulator=GPUSimulator(
-                    device, options=options, cache=cache, tracer=tracer
+                    device,
+                    options=options,
+                    cache=cache,
+                    tracer=tracer,
+                    proxy=_proxy_tier_for_worker(
+                        proxy_tol, proxy_audit_fraction, tracer
+                    ),
                 )
             )
             workload = get_workload(abbr, scale=scale, seed=seed)
@@ -161,6 +184,8 @@ def _sweep_one(
     attempt: int = 1,
     fault_plan: Optional["FaultPlan"] = None,
     handoff: Optional[TraceHandoff] = None,
+    proxy_tol: Optional[float] = None,
+    proxy_audit_fraction: float = 0.05,
 ) -> Tuple[str, Dict[str, Characterization], CacheStats, Optional[dict]]:
     """Pool worker for device sweeps: one workload, every device.
 
@@ -192,6 +217,14 @@ def _sweep_one(
         ):
             if fault_plan is not None:
                 fault_plan.before(abbr, attempt)
+            proxy_bank = None
+            if proxy_tol is not None:
+                proxy_bank = ProxyBank(
+                    ProxyConfig(
+                        proxy_tol, audit_fraction=proxy_audit_fraction
+                    ),
+                    tracer=tracer,
+                )
             workload = get_workload(abbr, scale=scale, seed=seed)
             result = characterize_devices(
                 workload,
@@ -200,6 +233,7 @@ def _sweep_one(
                 cache=cache,
                 stream_cache=stream_cache,
                 tracer=tracer,
+                proxy_bank=proxy_bank,
             )
     finally:
         if tracer.sink is not None:
@@ -270,6 +304,14 @@ class CharacterizationEngine:
     journal_dir: Optional[str] = None
     fault_plan: Optional["FaultPlan"] = None
     trace_dir: Optional[str] = None
+    #: Opt-in similarity-proxy tolerance (see :mod:`repro.core.proxy`).
+    #: ``None`` (default) keeps the engine bit-exact: no proxy tier is
+    #: constructed anywhere.  Deliberately *not* part of
+    #: ``SimulationOptions`` — it must not perturb cache keys.
+    proxy_tol: Optional[float] = None
+    #: Fraction of would-be proxy hits that are simulated anyway to
+    #: record per-metric substitution error (report error bounds).
+    proxy_audit_fraction: float = 0.05
     #: Optional device-independent launch-stream cache (see
     #: :mod:`repro.core.streamcache`).  When absent but ``cache`` has a
     #: disk tier, sweeps derive one under ``<cache_dir>/streams``.
@@ -281,6 +323,33 @@ class CharacterizationEngine:
     _stream_memo: Dict[int, tuple] = field(
         default_factory=dict, repr=False, compare=False
     )
+
+    # -- similarity proxy ----------------------------------------------
+    def _new_proxy_bank(self, tracer=None) -> Optional[ProxyBank]:
+        """A fresh per-device proxy bank, or None when the tier is off."""
+        if self.proxy_tol is None:
+            return None
+        return ProxyBank(
+            ProxyConfig(
+                self.proxy_tol, audit_fraction=self.proxy_audit_fraction
+            ),
+            tracer=tracer,
+        )
+
+    def _engine_proxy_bank(self) -> Optional[ProxyBank]:
+        """Engine-lifetime bank for the in-process characterize() path."""
+        if self.proxy_tol is None:
+            return None
+        bank = getattr(self, "_proxy_bank", None)
+        if bank is None:
+            bank = self._new_proxy_bank()
+            self._proxy_bank = bank
+        return bank
+
+    @property
+    def _run_proxy(self) -> Optional[ProxyBank]:
+        """The live run's proxy bank (None outside a run or when off)."""
+        return getattr(self, "_run_proxy_bank", None)
 
     # -- single workload ----------------------------------------------
     def memoized_stream(self, workload, profiler: Profiler):
@@ -299,9 +368,13 @@ class CharacterizationEngine:
         same workload object — including with a different ``device`` set
         between calls — pays stream generation once.
         """
+        bank = self._engine_proxy_bank()
         profiler = Profiler(
             simulator=GPUSimulator(
-                self.device, options=self.options, cache=self.cache
+                self.device,
+                options=self.options,
+                cache=self.cache,
+                proxy=bank.tier(self.device) if bank is not None else None,
             )
         )
         stream = self.memoized_stream(workload, profiler)
@@ -364,6 +437,7 @@ class CharacterizationEngine:
 
         session = ObsSession(self.trace_dir)
         self._session = session
+        self._run_proxy_bank = self._new_proxy_bank(session.tracer)
         restore_cache_tracer = False
         if self.cache is not None and self.cache.tracer is None:
             # Serial-path and in-process cache traffic count toward this
@@ -433,6 +507,7 @@ class CharacterizationEngine:
             if session.tracing and session.trace_dir is not None:
                 report.trace_dir = str(session.trace_dir)
             self._session = None
+            self._run_proxy_bank = None
 
         if report.failures and not self.keep_going:
             raise SuiteRunError(report, report.failures)
@@ -517,6 +592,7 @@ class CharacterizationEngine:
 
         session = ObsSession(self.trace_dir)
         self._session = session
+        self._run_proxy_bank = self._new_proxy_bank(session.tracer)
         restore_cache_tracer = False
         if self.cache is not None and self.cache.tracer is None:
             self.cache.tracer = session.tracer
@@ -566,6 +642,8 @@ class CharacterizationEngine:
                                 attempt,
                                 self.fault_plan,
                                 handoff,
+                                self.proxy_tol,
+                                self.proxy_audit_fraction,
                             )
 
                         self._run_parallel(
@@ -593,6 +671,7 @@ class CharacterizationEngine:
                                 cache=self.cache,
                                 stream_cache=stream_cache,
                                 tracer=tracer,
+                                proxy_bank=self._run_proxy,
                             )
 
                         self._run_serial(
@@ -632,6 +711,7 @@ class CharacterizationEngine:
             if session.tracing and session.trace_dir is not None:
                 report.trace_dir = str(session.trace_dir)
             self._session = None
+            self._run_proxy_bank = None
 
         if report.failures and not self.keep_going:
             raise SuiteRunError(report, report.failures)
@@ -690,12 +770,16 @@ class CharacterizationEngine:
         policy = self.retry_policy
         tracer = self._tracer
         if run_one is None:
+            bank = self._run_proxy
             profiler = Profiler(
                 simulator=GPUSimulator(
                     self.device,
                     options=self.options,
                     cache=self.cache,
                     tracer=tracer,
+                    proxy=(
+                        bank.tier(self.device) if bank is not None else None
+                    ),
                 )
             )
 
@@ -833,6 +917,8 @@ class CharacterizationEngine:
                     attempt,
                     self.fault_plan,
                     handoff,
+                    self.proxy_tol,
+                    self.proxy_audit_fraction,
                 )
 
         try:

@@ -1,0 +1,295 @@
+"""Similarity-proxy tier for the simulate path.
+
+The result cache only reuses metrics for a *bit-identical* kernel key.
+Real suites are full of near-duplicates — a BFS level whose frontier
+grew by a few vertices, an MD step with a handful more pairs — that
+miss the exact-key cache and pay a full timing-model evaluation each.
+:class:`ProxyTier` sits in front of the timing model: every computed
+(or exact-cache-hit) kernel is recorded into a
+:class:`~repro.analysis.similarity.KernelIndex` over its structural
+feature vector, and a new kernel whose nearest recorded neighbor lies
+within an explicit standardized-space **tolerance** reuses the stored
+metrics instead of simulating.
+
+Contract
+--------
+
+* **Default off, bit-exact when off.**  No tier is constructed unless a
+  tolerance is supplied (``--proxy-tol`` / ``REPRO_PROXY_TOL``); the
+  pinned golden digests guard this.
+* **Exact at tolerance 0.**  A hit requires the *raw* feature vectors
+  to be exactly equal (``Neighbor.exact``), not merely distance 0 in
+  the standardized space (a zero-variance column standardizes away raw
+  differences).  The structural vector covers every timing-model input,
+  so an exact hit substitutes bit-identical numbers — only ``name`` and
+  ``tags`` are taken from the querying kernel.
+* **Work-rescaled within tolerance.**  A near (non-exact) hit adapts
+  the donor's metrics to the query's magnitude: ``duration_s`` scales
+  with the warp-instruction ratio, ``dram_transactions`` with the
+  access-byte ratio; rates, utilizations, and stall ratios — intensive
+  quantities — carry over unchanged; the instruction-mix fractions come
+  from the query's own mix (that is how the timing model defines them).
+* **Audited.**  A deterministic sample of would-be hits (selected by
+  kernel digest, so runs are reproducible) is simulated anyway and the
+  per-metric relative error between proxy and truth is recorded as
+  ``proxy.err.<metric>`` histograms — the report's error-bound table.
+* **Never poisons the cache.**  Proxied metrics are memoized for the
+  run but never written to the exact-key result cache.
+
+Proxy corpora are in-memory and scoped to a tier's lifetime (one
+engine run, or one worker process under the pool) — reuse across runs
+still flows through the persistent exact-key cache, which seeds each
+tier as its entries are replayed through ``record``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Optional, Tuple
+
+from repro.analysis.similarity import KernelIndex, kernel_features
+from repro.gpu.device import DeviceSpec
+from repro.gpu.digest import kernel_digest
+from repro.gpu.kernel import KernelCharacteristics
+from repro.gpu.metrics import KernelMetrics
+
+__all__ = ["ProxyConfig", "ProxyStats", "ProxyTier", "ProxyBank"]
+
+#: Metrics compared between a proxied record and ground truth when a
+#: hit is audited (all numeric KernelMetrics fields plus the roofline
+#: coordinates).
+AUDITED_METRICS: Tuple[str, ...] = (
+    "duration_s",
+    "warp_insts",
+    "dram_transactions",
+    "warp_occupancy",
+    "sm_efficiency",
+    "l1_hit_rate",
+    "l2_hit_rate",
+    "dram_read_throughput_gbs",
+    "ld_st_utilization",
+    "sp_utilization",
+    "fraction_branches",
+    "fraction_ld_st",
+    "execution_stall",
+    "pipe_stall",
+    "sync_stall",
+    "memory_stall",
+    "gips",
+    "instruction_intensity",
+)
+
+
+@dataclass(frozen=True)
+class ProxyConfig:
+    """Configuration of the similarity-proxy tier.
+
+    ``tolerance`` is a distance in the standardized structural feature
+    space (unitless; each feature is measured in corpus standard
+    deviations).  0 demands exact structural equality; values around
+    0.01-0.1 accept near-duplicates.
+    """
+
+    tolerance: float
+    #: Fraction of would-be proxy hits that are simulated anyway to
+    #: measure the substitution error (deterministic, digest-sampled).
+    audit_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not self.tolerance >= 0.0:
+            raise ValueError(
+                f"tolerance must be >= 0, got {self.tolerance!r}"
+            )
+        if not 0.0 <= self.audit_fraction <= 1.0:
+            raise ValueError(
+                f"audit_fraction must be in [0, 1], got {self.audit_fraction!r}"
+            )
+
+
+@dataclass
+class ProxyStats:
+    """Hit/miss accounting for one tier (mergeable across workers)."""
+
+    hits: int = 0
+    misses: int = 0
+    audits: int = 0
+    #: Worst observed relative error per audited metric.
+    error_max: Dict[str, float] = field(default_factory=dict)
+
+    def merge(self, other: "ProxyStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.audits += other.audits
+        for name, value in other.error_max.items():
+            if value > self.error_max.get(name, 0.0):
+                self.error_max[name] = value
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "audits": self.audits,
+            "error_max": dict(self.error_max),
+        }
+
+
+def _relative_error(approx: float, truth: float) -> float:
+    if truth == approx:
+        return 0.0
+    scale = max(abs(truth), abs(approx), 1e-30)
+    return abs(approx - truth) / scale
+
+
+class ProxyTier:
+    """Similarity-proxy corpus for one ``(device, options)`` context."""
+
+    def __init__(self, config: ProxyConfig, tracer: Any = None) -> None:
+        self.config = config
+        if tracer is None:
+            from repro.obs import NULL_TRACER
+
+            tracer = NULL_TRACER
+        self.tracer = tracer
+        self.index = KernelIndex()
+        self.stats = ProxyStats()
+        # Kernels whose would-be hit was sampled for audit: digest ->
+        # the metrics the proxy *would* have returned.  Resolved (and
+        # scored) when record() later sees the ground truth.
+        self._pending_audits: Dict[str, KernelMetrics] = {}
+        self._recorded: set = set()
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    # -- query ---------------------------------------------------------
+    def lookup(self, kernel: KernelCharacteristics) -> Optional[KernelMetrics]:
+        """Proxy metrics for *kernel*, or ``None`` (simulate it)."""
+        if len(self.index) == 0:
+            self.stats.misses += 1
+            self.tracer.incr("proxy.misses")
+            return None
+        neighbor = self.index.nearest(kernel_features(kernel))
+        if neighbor is None or neighbor.distance > self.config.tolerance:
+            self.stats.misses += 1
+            self.tracer.incr("proxy.misses")
+            return None
+        if not neighbor.exact and self.config.tolerance == 0.0:
+            # Distance 0 through a degenerate (zero-variance) column is
+            # not raw equality; tolerance 0 promises bit-exactness.
+            self.stats.misses += 1
+            self.tracer.incr("proxy.misses")
+            return None
+        donor_kernel, donor_metrics = neighbor.payload
+        adapted = self._adapt(kernel, donor_kernel, donor_metrics, neighbor.exact)
+        if self._sample_audit(kernel):
+            digest = kernel_digest(kernel)
+            self._pending_audits[digest] = adapted
+            self.stats.audits += 1
+            self.stats.misses += 1
+            self.tracer.incr("proxy.audits")
+            self.tracer.incr("proxy.misses")
+            return None
+        self.stats.hits += 1
+        self.tracer.incr("proxy.hits")
+        self.tracer.observe("proxy.hit_distance", neighbor.distance)
+        return adapted
+
+    def _sample_audit(self, kernel: KernelCharacteristics) -> bool:
+        fraction = self.config.audit_fraction
+        if fraction <= 0.0:
+            return False
+        if fraction >= 1.0:
+            return True
+        # Deterministic per-kernel coin flip from the content digest.
+        draw = int(kernel_digest(kernel)[:8], 16) / float(0xFFFFFFFF + 1)
+        return draw < fraction
+
+    def _adapt(
+        self,
+        kernel: KernelCharacteristics,
+        donor_kernel: KernelCharacteristics,
+        donor: KernelMetrics,
+        exact: bool,
+    ) -> KernelMetrics:
+        if exact:
+            # Identical timing-model inputs: the donor's numbers *are*
+            # this kernel's numbers.  Only identity fields differ.
+            return replace(
+                donor, name=kernel.name, tags=kernel.tags, invocations=1
+            )
+        work_ratio = kernel.warp_insts / donor.warp_insts
+        donor_bytes = donor_kernel.memory.total_access_bytes
+        byte_ratio = (
+            kernel.memory.total_access_bytes / donor_bytes
+            if donor_bytes > 0
+            else 1.0
+        )
+        return replace(
+            donor,
+            name=kernel.name,
+            tags=kernel.tags,
+            invocations=1,
+            duration_s=donor.duration_s * work_ratio,
+            warp_insts=float(kernel.warp_insts),
+            dram_transactions=donor.dram_transactions * byte_ratio,
+            fraction_branches=kernel.mix.branch,
+            fraction_ld_st=kernel.mix.ld_st,
+        )
+
+    # -- corpus growth -------------------------------------------------
+    def record(
+        self, kernel: KernelCharacteristics, metrics: KernelMetrics
+    ) -> None:
+        """Feed ground-truth *metrics* (computed or exact-cache-hit)."""
+        digest = kernel_digest(kernel)
+        pending = self._pending_audits.pop(digest, None)
+        if pending is not None:
+            self._score_audit(pending, metrics)
+        if digest in self._recorded:
+            return
+        self._recorded.add(digest)
+        self.index.add(digest, kernel_features(kernel), (kernel, metrics))
+
+    def _score_audit(self, approx: KernelMetrics, truth: KernelMetrics) -> None:
+        for name in AUDITED_METRICS:
+            error = _relative_error(approx.metric(name), truth.metric(name))
+            self.tracer.observe(f"proxy.err.{name}", error)
+            if error > self.stats.error_max.get(name, 0.0):
+                self.stats.error_max[name] = error
+
+
+@dataclass
+class ProxyBank:
+    """Per-device :class:`ProxyTier` factory for sweep/multi-device runs.
+
+    Tiers are keyed by device name: metrics are only comparable within
+    one device model, so each device gets its own corpus.  Simulation
+    options are fixed per bank (one engine run has one options object).
+    """
+
+    config: ProxyConfig
+    tracer: Any = None
+    _tiers: Dict[str, ProxyTier] = field(default_factory=dict)
+
+    def tier(self, device: DeviceSpec) -> ProxyTier:
+        tier = self._tiers.get(device.name)
+        if tier is None:
+            tier = ProxyTier(self.config, tracer=self.tracer)
+            self._tiers[device.name] = tier
+        return tier
+
+    def stats(self) -> ProxyStats:
+        total = ProxyStats()
+        for tier in self._tiers.values():
+            total.merge(tier.stats)
+        return total
+
+
+def _audited_metric_names() -> Tuple[str, ...]:
+    """Sanity helper: AUDITED_METRICS must cover all numeric fields."""
+    names = [
+        item.name
+        for item in fields(KernelMetrics)
+        if item.name not in ("name", "tags", "invocations")
+    ]
+    return tuple(names) + ("gips", "instruction_intensity")

@@ -106,89 +106,89 @@ def batch_kernel_metrics(
         return [[] for _ in range(n_dev)]
 
     # -- kernel-side rows (K,): plain-Python scalar math, packed --------
-    wpb = np.array([k.warps_per_block for k in kernels], dtype=np.int64)
-    grid = np.array([k.grid_blocks for k in kernels], dtype=np.int64)
-    warp_insts = np.array([k.warp_insts for k in kernels], dtype=np.float64)
-    ilp = np.array([k.ilp for k in kernels], dtype=np.float64)
-    ld_st = np.array([k.mix.ld_st for k in kernels], dtype=np.float64)
-    fp32 = np.array([k.mix.fp32 for k in kernels], dtype=np.float64)
-    # Exact scalar associativity: (1.0 - ld_st) - sync.
-    alu_coeff = np.array(
-        [1.0 - k.mix.ld_st - k.mix.sync for k in kernels], dtype=np.float64
-    )
-    sync_barrier = np.array(
-        [k.mix.sync * BARRIER_LATENCY_CYCLES for k in kernels],
-        dtype=np.float64,
-    )
-    mlp = np.array([k.mlp for k in kernels], dtype=np.float64)
+    # One pass over the kernel list: each kernel's attributes and
+    # footprint properties are read exactly once and every derived
+    # scalar is computed with the verbatim scalar-model expression
+    # (reusing a subexpression's float value is bit-exact — it is the
+    # same correctly-rounded double either way).  Streams with
+    # thousands of structurally distinct kernels (GRU's per-level BFS
+    # frontiers) spend their time here, so the packing is as much a hot
+    # path as the broadcast math below.
+    wpb_l: List[int] = []
+    grid_l: List[int] = []
+    warp_insts_l: List[float] = []
+    ilp_l: List[float] = []
+    ld_st_l: List[float] = []
+    fp32_l: List[float] = []
+    alu_coeff_l: List[float] = []
+    sync_barrier_l: List[float] = []
+    mlp_l: List[float] = []
+    unique_l: List[float] = []
+    total_l: List[float] = []
+    working_set_l: List[float] = []
+    l1_hit_l: List[float] = []
+    carry_l: List[float] = []
+    l1_rate_l: List[float] = []
+    read_share_l: List[float] = []
+    txn_inflation_l: List[float] = []
+    cold_floor_l: List[float] = []
+    compulsory_l: List[float] = []
+    nocache_l: List[float] = []
+    for k in kernels:
+        mix = k.mix
+        memory = k.memory
+        unique = memory.unique_bytes
+        total = memory.total_access_bytes
+        carry = unique * memory.l2_carry_in
+        l1_hit = (total - unique) * memory.l1_locality
+        wpb_l.append(k.warps_per_block)
+        grid_l.append(k.grid_blocks)
+        warp_insts_l.append(k.warp_insts)
+        ilp_l.append(k.ilp)
+        ld_st_l.append(mix.ld_st)
+        fp32_l.append(mix.fp32)
+        # Exact scalar associativity: (1.0 - ld_st) - sync.
+        alu_coeff_l.append(1.0 - mix.ld_st - mix.sync)
+        sync_barrier_l.append(mix.sync * BARRIER_LATENCY_CYCLES)
+        mlp_l.append(k.mlp)
+        unique_l.append(unique)
+        total_l.append(total)
+        working_set_l.append(memory.effective_working_set)
+        l1_hit_l.append(l1_hit)
+        carry_l.append(carry)
+        l1_rate_l.append(l1_hit / total if total > 0 else 0.0)
+        read_share_l.append(
+            memory.bytes_read / unique if unique > 0 else 1.0
+        )
+        txn_inflation_l.append(1.0 / memory.coalescence)
+        cold_floor_l.append(unique - carry)
+        compulsory_l.append(unique * 0.02)
+        # No-cache ablation traffic (device-independent).
+        nocache_l.append(total / memory.coalescence)
 
-    unique_b = np.array(
-        [k.memory.unique_bytes for k in kernels], dtype=np.float64
-    )
-    total_b = np.array(
-        [k.memory.total_access_bytes for k in kernels], dtype=np.float64
-    )
+    wpb = np.array(wpb_l, dtype=np.int64)
+    grid = np.array(grid_l, dtype=np.int64)
+    warp_insts = np.array(warp_insts_l, dtype=np.float64)
+    ilp = np.array(ilp_l, dtype=np.float64)
+    ld_st = np.array(ld_st_l, dtype=np.float64)
+    fp32 = np.array(fp32_l, dtype=np.float64)
+    alu_coeff = np.array(alu_coeff_l, dtype=np.float64)
+    sync_barrier = np.array(sync_barrier_l, dtype=np.float64)
+    mlp = np.array(mlp_l, dtype=np.float64)
+    unique_b = np.array(unique_l, dtype=np.float64)
+    total_b = np.array(total_l, dtype=np.float64)
     zero_traffic = total_b <= 0
-    working_set = np.array(
-        [k.memory.effective_working_set for k in kernels], dtype=np.float64
-    )
-    # repeat, l1-hit, l2-in bytes: scalar formulas on Python floats.
-    l1_hit_b = np.array(
-        [
-            (k.memory.total_access_bytes - k.memory.unique_bytes)
-            * k.memory.l1_locality
-            for k in kernels
-        ],
-        dtype=np.float64,
-    )
+    working_set = np.array(working_set_l, dtype=np.float64)
+    l1_hit_b = np.array(l1_hit_l, dtype=np.float64)
     l2_in_b = total_b - l1_hit_b
     l2_repeat_b = np.maximum(0.0, l2_in_b - unique_b)
-    carry_b = np.array(
-        [k.memory.unique_bytes * k.memory.l2_carry_in for k in kernels],
-        dtype=np.float64,
-    )
-    l1_hit_rate_k = np.array(
-        [
-            (
-                (k.memory.total_access_bytes - k.memory.unique_bytes)
-                * k.memory.l1_locality
-                / k.memory.total_access_bytes
-                if k.memory.total_access_bytes > 0
-                else 0.0
-            )
-            for k in kernels
-        ],
-        dtype=np.float64,
-    )
-    read_share = np.array(
-        [
-            (
-                k.memory.bytes_read / k.memory.unique_bytes
-                if k.memory.unique_bytes > 0
-                else 1.0
-            )
-            for k in kernels
-        ],
-        dtype=np.float64,
-    )
-    txn_inflation = np.array(
-        [1.0 / k.memory.coalescence for k in kernels], dtype=np.float64
-    )
-    cold_floor = np.array(
-        [
-            k.memory.unique_bytes - k.memory.unique_bytes * k.memory.l2_carry_in
-            for k in kernels
-        ],
-        dtype=np.float64,
-    )
-    compulsory_floor = np.array(
-        [k.memory.unique_bytes * 0.02 for k in kernels], dtype=np.float64
-    )
-    # No-cache ablation traffic (device-independent).
-    nocache_total = np.array(
-        [k.memory.total_access_bytes / k.memory.coalescence for k in kernels],
-        dtype=np.float64,
-    )
+    carry_b = np.array(carry_l, dtype=np.float64)
+    l1_hit_rate_k = np.array(l1_rate_l, dtype=np.float64)
+    read_share = np.array(read_share_l, dtype=np.float64)
+    txn_inflation = np.array(txn_inflation_l, dtype=np.float64)
+    cold_floor = np.array(cold_floor_l, dtype=np.float64)
+    compulsory_floor = np.array(compulsory_l, dtype=np.float64)
+    nocache_total = np.array(nocache_l, dtype=np.float64)
 
     # -- device-side columns (D, 1): Python-float precomputation -------
     def col(values: List[float]) -> np.ndarray:
@@ -380,6 +380,7 @@ def simulate_devices(
     devices: Sequence[DeviceSpec],
     options: Optional[SimulationOptions] = None,
     tracer: Optional["Tracer"] = None,
+    proxy_bank=None,
 ) -> List[List[KernelMetrics]]:
     """Simulate one launch stream on N devices in a single pass.
 
@@ -393,6 +394,12 @@ def simulate_devices(
     ``simulate_devices(s, [d])[0] == GPUSimulator(d).run_stream(s)``
     bit-for-bit; for N > 1 the batched pass produces the same bits, as
     pinned by the differential tests.
+
+    *proxy_bank* (a :class:`repro.core.proxy.ProxyBank`, typed loosely
+    to keep the gpu layer below core) enables the opt-in similarity
+    proxy: each device consults its own tier for every distinct kernel
+    and only the misses go through the broadcast compute pass.  With
+    ``proxy_bank=None`` (default) this function is bit-exact as above.
     """
     if not devices:
         raise ValueError("simulate_devices needs at least one device")
@@ -407,13 +414,43 @@ def simulate_devices(
         tracer = NULL_TRACER
 
     if len(devices) == 1:
-        sim = GPUSimulator(devices[0], options=opts, tracer=tracer)
+        proxy = (
+            proxy_bank.tier(devices[0]) if proxy_bank is not None else None
+        )
+        sim = GPUSimulator(devices[0], options=opts, tracer=tracer, proxy=proxy)
         return [sim.run_stream(launches)]
 
     kernels, indices = _collect_distinct(launches)
-    per_device = batch_kernel_metrics(
-        kernels, devices, timing=opts.timing, model_caches=opts.model_caches
-    )
+    if proxy_bank is None:
+        per_device = batch_kernel_metrics(
+            kernels, devices, timing=opts.timing, model_caches=opts.model_caches
+        )
+    else:
+        # Proxy path: per-device tier lookups first, then one vectorized
+        # compute pass per device over only its misses.  (The cross-
+        # device (D, K) broadcast is deliberately given up here — each
+        # device may miss a different kernel subset, and elementwise
+        # results are identical either way.)
+        per_device = []
+        for device in devices:
+            tier = proxy_bank.tier(device)
+            records: List[Optional[KernelMetrics]] = [
+                tier.lookup(kernel) for kernel in kernels
+            ]
+            to_compute = [
+                i for i, record in enumerate(records) if record is None
+            ]
+            if to_compute:
+                computed = batch_kernel_metrics(
+                    [kernels[i] for i in to_compute],
+                    [device],
+                    timing=opts.timing,
+                    model_caches=opts.model_caches,
+                )[0]
+                for i, metrics in zip(to_compute, computed):
+                    records[i] = metrics
+                    tier.record(kernels[i], metrics)
+            per_device.append(records)
     results = [
         [records[idx] for idx in indices] for records in per_device
     ]

@@ -50,6 +50,27 @@ class MetricsCache(Protocol):
     def put(self, key: str, payload: dict) -> None: ...
 
 
+class MetricsProxy(Protocol):
+    """Similarity-proxy tier the simulator can consult before simulating.
+
+    Implemented by :class:`repro.core.proxy.ProxyTier`; typed
+    structurally here so the gpu layer stays below core.  ``lookup``
+    returns substitute metrics for a near-duplicate of an already
+    recorded kernel (or ``None`` — simulate it); ``record`` feeds every
+    ground-truth result (computed or exact-cache hit) back into the
+    corpus.  Proxied metrics are memoized for the run but never written
+    to the exact-key cache.
+    """
+
+    def lookup(
+        self, kernel: KernelCharacteristics
+    ) -> Optional[KernelMetrics]: ...
+
+    def record(
+        self, kernel: KernelCharacteristics, metrics: KernelMetrics
+    ) -> None: ...
+
+
 class _NoCacheModel(CacheModel):
     """Ablation cache model: all traffic is compulsory DRAM traffic."""
 
@@ -82,10 +103,12 @@ class GPUSimulator:
         options: SimulationOptions | None = None,
         cache: Optional[MetricsCache] = None,
         tracer=None,
+        proxy: Optional[MetricsProxy] = None,
     ) -> None:
         self.device = device
         self.options = options or SimulationOptions()
         self.cache = cache
+        self.proxy = proxy
         # Run-scoped observability (repro.obs).  Counters only — the
         # per-kernel hot loop stays branch-free; lazily defaulted to
         # the no-op tracer so the gpu layer stays below repro.obs at
@@ -133,27 +156,100 @@ class GPUSimulator:
             self._memo[kernel] = cached
         return cached
 
+    def _cached_metrics(
+        self, kernel: KernelCharacteristics
+    ) -> Optional[KernelMetrics]:
+        """Probe the persistent cache for *kernel* (no compute)."""
+        if self.cache is None:
+            return None
+        key = kernel_metrics_key(self.device, self.options, kernel)
+        payload = self.cache.get(key)
+        if payload is None:
+            return None
+        try:
+            return KernelMetrics.from_json_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            # The entry parsed as JSON but is not a metrics record
+            # (schema-corrupt): recompute rather than poisoning the run.
+            return None
+
     def run_stream(self, launches: Iterable[KernelLaunch]) -> List[KernelMetrics]:
         """Metrics for every launch in the stream, in order.
 
-        Batched: identical kernels are grouped first, so the timing
-        model and the cache-key layer (content digests, persistent-cache
-        probes) run once per *distinct* kernel instead of once per
-        launch.  Streams with thousands of repeated launches — every
-        graph workload — pay one simulation per unique kernel.
+        Batched along two axes: identical kernels are grouped first, so
+        the memo/cache-key layer runs once per *distinct* kernel instead
+        of once per launch, and every distinct kernel that still needs
+        simulating is evaluated in **one** vectorized
+        :func:`repro.gpu.batched.batch_kernel_metrics` pass (bit-for-bit
+        equal to per-kernel ``TimingModel.run`` calls) instead of a
+        Python-level model run per kernel.  Streams with thousands of
+        structurally distinct launches — GRU's per-level BFS frontiers —
+        pay one broadcast pass, not thousands of scalar ones.
+
+        When a similarity ``proxy`` is attached (opt-in), distinct
+        kernels that miss the memo and the exact-key cache are offered
+        to the proxy before the compute pass; proxied metrics are
+        memoized but never written back to the exact-key cache.
         """
-        distinct: Dict[KernelCharacteristics, KernelMetrics] = {}
-        results: List[KernelMetrics] = []
+        order: List[KernelCharacteristics] = []
+        index_of: Dict[KernelCharacteristics, int] = {}
+        indices: List[int] = []
         for launch in launches:
             kernel = launch.kernel
-            metrics = distinct.get(kernel)
+            idx = index_of.get(kernel)
+            if idx is None:
+                idx = len(order)
+                index_of[kernel] = idx
+                order.append(kernel)
+            indices.append(idx)
+
+        resolved: List[Optional[KernelMetrics]] = [None] * len(order)
+        to_compute: List[int] = []
+        for idx, kernel in enumerate(order):
+            metrics = self._memo.get(kernel)
             if metrics is None:
-                metrics = self.run_kernel(kernel)
-                distinct[kernel] = metrics
-            results.append(metrics)
+                metrics = self._cached_metrics(kernel)
+                if metrics is not None:
+                    self._memo[kernel] = metrics
+                    if self.proxy is not None:
+                        self.proxy.record(kernel, metrics)
+            if metrics is None and self.proxy is not None:
+                metrics = self.proxy.lookup(kernel)
+                if metrics is not None:
+                    # Approximate substitute: usable for this run, but
+                    # never persisted under the exact content key.
+                    self._memo[kernel] = metrics
+                    stats = getattr(self.cache, "stats", None)
+                    if stats is not None:
+                        stats.proxy_hits += 1
+            if metrics is None:
+                to_compute.append(idx)
+            else:
+                resolved[idx] = metrics
+
+        if to_compute:
+            from repro.gpu.batched import batch_kernel_metrics
+
+            kernels = [order[idx] for idx in to_compute]
+            computed = batch_kernel_metrics(
+                kernels,
+                [self.device],
+                timing=self.options.timing,
+                model_caches=self.options.model_caches,
+            )[0]
+            for idx, kernel, metrics in zip(to_compute, kernels, computed):
+                resolved[idx] = metrics
+                self._memo[kernel] = metrics
+                if self.cache is not None:
+                    key = kernel_metrics_key(self.device, self.options, kernel)
+                    self.cache.put(key, metrics.to_json_dict())
+                if self.proxy is not None:
+                    self.proxy.record(kernel, metrics)
+
+        results = [resolved[idx] for idx in indices]
         self.tracer.incr("sim.launches", float(len(results)))
-        self.tracer.incr("sim.distinct_kernels", float(len(distinct)))
-        return results
+        self.tracer.incr("sim.distinct_kernels", float(len(order)))
+        return results  # type: ignore[return-value]
 
     def run(self, launches: Iterable[KernelLaunch]) -> List[KernelMetrics]:
         """Metrics for every launch in the stream, in order."""

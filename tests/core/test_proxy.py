@@ -1,0 +1,301 @@
+"""Unit and differential tests for the similarity-proxy tier.
+
+The proxy's contract (see :mod:`repro.core.proxy`): off by default and
+bit-exact when off, exact substitution at tolerance 0, work-rescaled
+substitution within a positive tolerance, digest-deterministic audit
+sampling with per-metric error bounds, and no writes to the exact-key
+result cache ever.
+"""
+
+from dataclasses import fields, replace
+
+import pytest
+
+from repro.core.cache import ResultCache
+from repro.core.proxy import (
+    AUDITED_METRICS,
+    ProxyBank,
+    ProxyConfig,
+    ProxyStats,
+    ProxyTier,
+    _audited_metric_names,
+)
+from repro.gpu import RTX_3080, GPUSimulator
+from repro.gpu.device import DEVICE_ZOO
+from repro.gpu.kernel import (
+    KernelCharacteristics,
+    KernelLaunch,
+    MemoryFootprint,
+)
+
+
+def _kernel(name="k", blocks=128, insts=1.5e6, bytes_read=3.25e5):
+    return KernelCharacteristics(
+        name=name,
+        grid_blocks=blocks,
+        threads_per_block=256,
+        warp_insts=insts,
+        memory=MemoryFootprint(bytes_read=bytes_read),
+    )
+
+
+def _metrics_equal(a, b, skip=()):
+    return all(
+        getattr(a, f.name) == getattr(b, f.name)
+        for f in fields(a)
+        if f.name not in skip
+    )
+
+
+class TestConfig:
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            ProxyConfig(tolerance=-0.1)
+
+    def test_rejects_bad_audit_fraction(self):
+        with pytest.raises(ValueError, match="audit_fraction"):
+            ProxyConfig(tolerance=0.0, audit_fraction=1.5)
+
+    def test_audited_metrics_cover_every_numeric_field(self):
+        """AUDITED_METRICS must track KernelMetrics' numeric fields.
+
+        If this fires, a field was added to (or removed from)
+        KernelMetrics without updating AUDITED_METRICS — the audit
+        error-bound table would silently stop covering it.
+        """
+        assert tuple(sorted(AUDITED_METRICS)) == tuple(
+            sorted(_audited_metric_names())
+        )
+
+
+class TestStats:
+    def test_merge_accumulates_and_takes_worst_error(self):
+        a = ProxyStats(hits=2, misses=3, audits=1, error_max={"x": 0.1})
+        b = ProxyStats(hits=1, misses=1, audits=0, error_max={"x": 0.3, "y": 0.2})
+        a.merge(b)
+        assert (a.hits, a.misses, a.audits) == (3, 4, 1)
+        assert a.error_max == {"x": 0.3, "y": 0.2}
+        assert a.as_dict()["error_max"] == {"x": 0.3, "y": 0.2}
+
+
+class TestTierLookup:
+    def test_empty_corpus_misses(self):
+        tier = ProxyTier(ProxyConfig(tolerance=1.0))
+        assert tier.lookup(_kernel()) is None
+        assert tier.stats.misses == 1
+
+    def test_exact_hit_at_tolerance_zero_is_bit_identical(self):
+        tier = ProxyTier(ProxyConfig(tolerance=0.0, audit_fraction=0.0))
+        donor = _kernel(name="donor")
+        truth = GPUSimulator(RTX_3080).run_kernel(donor)
+        tier.record(donor, truth)
+        # A *structurally equal* kernel under a different name: every
+        # timing-model input matches, so the proxy must return the
+        # donor's numbers bit-for-bit, relabeled.
+        twin = replace(donor, name="twin")
+        hit = tier.lookup(twin)
+        assert hit is not None
+        assert hit.name == "twin"
+        assert _metrics_equal(hit, truth, skip=("name", "tags", "invocations"))
+        assert tier.stats.hits == 1
+
+    def test_near_duplicate_misses_at_tolerance_zero(self):
+        tier = ProxyTier(ProxyConfig(tolerance=0.0, audit_fraction=0.0))
+        donor = _kernel()
+        tier.record(donor, GPUSimulator(RTX_3080).run_kernel(donor))
+        near = replace(donor, warp_insts=donor.warp_insts * 1.01)
+        assert tier.lookup(near) is None
+        assert tier.stats.misses == 1
+
+    def test_near_hit_is_work_rescaled(self):
+        tier = ProxyTier(ProxyConfig(tolerance=10.0, audit_fraction=0.0))
+        donor = _kernel(name="donor")
+        truth = GPUSimulator(RTX_3080).run_kernel(donor)
+        tier.record(donor, truth)
+        # Seed a second distinct kernel so the standardization fit has
+        # spread (a single-item corpus standardizes everything to 0).
+        other = _kernel(name="other", blocks=32, insts=4e5, bytes_read=1e5)
+        tier.record(other, GPUSimulator(RTX_3080).run_kernel(other))
+        query = donor.scaled(1.05, name="query")
+        hit = tier.lookup(query)
+        assert hit is not None
+        ratio = query.warp_insts / truth.warp_insts
+        assert hit.duration_s == pytest.approx(truth.duration_s * ratio)
+        assert hit.warp_insts == query.warp_insts
+        # Intensive quantities carry over unchanged.
+        assert hit.l2_hit_rate == truth.l2_hit_rate
+        assert hit.warp_occupancy == truth.warp_occupancy
+
+    def test_beyond_tolerance_misses(self):
+        tier = ProxyTier(ProxyConfig(tolerance=0.01, audit_fraction=0.0))
+        tier.record(_kernel(), GPUSimulator(RTX_3080).run_kernel(_kernel()))
+        far = _kernel(name="far", blocks=4096, insts=9e8, bytes_read=5e8)
+        tier.record(far, GPUSimulator(RTX_3080).run_kernel(far))
+        probe = _kernel(name="probe", blocks=512, insts=1e7, bytes_read=2e6)
+        assert tier.lookup(probe) is None
+
+    def test_record_is_idempotent_per_kernel(self):
+        tier = ProxyTier(ProxyConfig(tolerance=0.0))
+        kernel = _kernel()
+        truth = GPUSimulator(RTX_3080).run_kernel(kernel)
+        tier.record(kernel, truth)
+        tier.record(kernel, truth)
+        assert len(tier) == 1
+
+
+class TestAuditing:
+    def test_full_audit_scores_errors_and_returns_none(self):
+        tier = ProxyTier(ProxyConfig(tolerance=10.0, audit_fraction=1.0))
+        donor = _kernel(name="donor")
+        tier.record(donor, GPUSimulator(RTX_3080).run_kernel(donor))
+        other = _kernel(name="other", blocks=32, insts=4e5, bytes_read=1e5)
+        tier.record(other, GPUSimulator(RTX_3080).run_kernel(other))
+        query = donor.scaled(1.1, name="query")
+        # Audited: the would-be hit is withheld (simulate it) ...
+        assert tier.lookup(query) is None
+        assert tier.stats.audits == 1
+        assert tier.stats.hits == 0
+        # ... and scoring happens when the ground truth arrives.  Only
+        # nonzero errors are retained (error_max is a worst-case record).
+        tier.record(query, GPUSimulator(RTX_3080).run_kernel(query))
+        assert tier.stats.error_max
+        assert set(tier.stats.error_max) <= set(AUDITED_METRICS)
+        assert "duration_s" in tier.stats.error_max
+        # Exact-by-construction fields of the adaptation have zero error.
+        assert tier.stats.error_max.get("warp_insts", 0.0) == 0.0
+
+    def test_audit_sampling_is_digest_deterministic(self):
+        config = ProxyConfig(tolerance=10.0, audit_fraction=0.3)
+        draws = []
+        for trial in range(2):
+            tier = ProxyTier(config)
+            draws.append(
+                [
+                    tier._sample_audit(_kernel(name=f"k{i}", blocks=64 + i))
+                    for i in range(50)
+                ]
+            )
+        assert draws[0] == draws[1]
+        assert any(draws[0]) and not all(draws[0])
+
+
+class TestSimulatorIntegration:
+    def _stream(self):
+        base = _kernel(name="bfs", blocks=100, insts=1e6, bytes_read=2e5)
+        launches = [KernelLaunch(kernel=base)]
+        # Near-duplicate frontier levels plus one unrelated kernel.
+        for step in range(1, 20):
+            launches.append(
+                KernelLaunch(kernel=base.scaled(1.0 + 0.002 * step))
+            )
+        launches.append(KernelLaunch(kernel=_kernel(name="other", blocks=8)))
+        return launches
+
+    def _warm(self, tier):
+        """Seed the corpus with the stream's first wave.
+
+        Lookups within one run_stream call never see that call's own
+        records (the corpus grows one simulate wave at a time), so
+        tests replay against a tier warmed by an earlier wave.  The
+        warm set is deliberately diverse — the standardization fit
+        needs corpus-wide spread for distances to be meaningful.
+        """
+        sim = GPUSimulator(RTX_3080)
+        base = self._stream()[0].kernel
+        for kernel in (
+            base,
+            base.scaled(1.002),
+            _kernel(name="other", blocks=8),
+        ):
+            tier.record(kernel, sim.run_kernel(kernel))
+
+    def test_tolerance_zero_stream_is_bit_exact(self):
+        stream = self._stream()
+        plain = GPUSimulator(RTX_3080).run_stream(stream)
+        tier = ProxyTier(ProxyConfig(tolerance=0.0, audit_fraction=0.0))
+        proxied = GPUSimulator(RTX_3080, proxy=tier).run_stream(stream)
+        assert len(plain) == len(proxied)
+        for a, b in zip(plain, proxied):
+            assert _metrics_equal(a, b)
+        assert tier.stats.hits == 0
+
+    def test_positive_tolerance_serves_near_duplicates(self):
+        stream = self._stream()
+        cache = ResultCache()
+        tier = ProxyTier(ProxyConfig(tolerance=0.5, audit_fraction=0.0))
+        self._warm(tier)
+        sim = GPUSimulator(RTX_3080, cache=cache, proxy=tier)
+        results = sim.run_stream(stream)
+        assert len(results) == len(stream)
+        assert tier.stats.hits > 0
+        assert cache.stats.proxy_hits == tier.stats.hits
+        assert "proxy hits" in cache.stats.render()
+
+    def test_proxied_metrics_never_poison_the_cache(self):
+        stream = self._stream()
+        distinct = len({l.kernel for l in stream})
+        cache = ResultCache()
+        tier = ProxyTier(ProxyConfig(tolerance=0.5, audit_fraction=0.0))
+        self._warm(tier)
+        GPUSimulator(RTX_3080, cache=cache, proxy=tier).run_stream(stream)
+        assert tier.stats.hits > 0
+        # Every store is a ground-truth simulation; proxied kernels are
+        # memoized only.  A second *uncached* proxy-off run over the
+        # same cache must therefore recompute exactly the proxied ones
+        # and agree bit-for-bit with a from-scratch simulation.
+        assert cache.stats.stores == distinct - tier.stats.hits
+        follow_up = GPUSimulator(RTX_3080, cache=cache)
+        truth = follow_up.run_stream(stream)
+        plain = GPUSimulator(RTX_3080).run_stream(stream)
+        for a, b in zip(truth, plain):
+            assert _metrics_equal(a, b)
+
+    def test_exact_cache_hits_seed_the_corpus(self):
+        stream = self._stream()
+        cache = ResultCache()
+        GPUSimulator(RTX_3080, cache=cache).run_stream(stream)
+        tier = ProxyTier(ProxyConfig(tolerance=0.5, audit_fraction=0.0))
+        GPUSimulator(RTX_3080, cache=cache, proxy=tier).run_stream(stream)
+        # All distinct kernels came back as exact cache hits and were
+        # replayed into the corpus; none were proxied or recomputed.
+        assert len(tier) == len({l.kernel for l in stream})
+        assert tier.stats.hits == 0
+
+
+class TestBank:
+    def test_one_tier_per_device(self):
+        bank = ProxyBank(ProxyConfig(tolerance=0.1))
+        devices = list(DEVICE_ZOO.values())[:3]
+        tiers = [bank.tier(d) for d in devices]
+        assert len({id(t) for t in tiers}) == 3
+        assert bank.tier(devices[0]) is tiers[0]
+
+    def test_stats_merge_across_tiers(self):
+        bank = ProxyBank(ProxyConfig(tolerance=1.0))
+        devices = list(DEVICE_ZOO.values())[:2]
+        for device in devices:
+            bank.tier(device).lookup(_kernel())  # empty-corpus miss
+        assert bank.stats().misses == 2
+
+
+class TestEngineThreading:
+    def test_run_suite_with_proxy_tol_records_counters(self):
+        from repro.core import run_suite
+
+        report = run_suite(
+            ["Cactus"], workloads=["GST"], proxy_tol=0.5
+        )
+        assert report.ok
+        profile = report.run_profile
+        lookups = profile.counter("proxy.hits") + profile.counter(
+            "proxy.misses"
+        )
+        assert lookups > 0
+
+    def test_run_suite_default_has_no_proxy_counters(self):
+        from repro.core import run_suite
+
+        report = run_suite(["Cactus"], workloads=["GST"])
+        profile = report.run_profile
+        assert profile.counter("proxy.hits") == 0.0
+        assert profile.counter("proxy.misses") == 0.0

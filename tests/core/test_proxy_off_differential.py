@@ -1,0 +1,87 @@
+"""Proxy-off differential: importing the subsystem changes nothing.
+
+This module is the CI gate for the proxy tier's headline guarantee:
+**default off, bit-exact when off**.  With :mod:`repro.core.proxy` and
+:mod:`repro.analysis.similarity` imported (as any engine run now
+imports them), a run with no tolerance configured must produce
+characterizations bit-for-bit identical to the plain pipeline — same
+pinned stream digests, same metrics, same serialized characterization
+payloads.
+
+CI invokes this module by name (see ``.github/workflows/ci.yml``), so
+keep it self-contained and fast (laptop preset).
+"""
+
+from dataclasses import fields
+
+# Deliberate: the differential below must hold WITH the proxy subsystem
+# imported — import side effects are part of what is being tested.
+import repro.analysis.similarity  # noqa: F401
+import repro.core.proxy  # noqa: F401
+from repro.core import LAPTOP_SCALE, characterize, run_suite
+from repro.core.serialize import characterization_to_dict
+from repro.gpu import RTX_3080, GPUSimulator
+from repro.gpu.digest import launch_stream_digest, stable_digest
+from repro.profiler.profiler import Profiler
+from repro.workloads.registry import get_workload
+
+import json
+from pathlib import Path
+
+FIXTURE = (
+    Path(__file__).resolve().parent.parent
+    / "golden"
+    / "fixtures"
+    / "stream_digests.json"
+)
+
+WORKLOADS = ("GST", "GRU", "LMC")
+
+
+def _pinned(abbr: str) -> dict:
+    payload = json.loads(FIXTURE.read_text(encoding="utf-8"))
+    return payload["presets"]["laptop"][abbr]
+
+
+def _workload(abbr: str):
+    return get_workload(abbr, scale=LAPTOP_SCALE.for_workload(abbr), seed=0)
+
+
+def test_streams_match_pinned_digests_with_proxy_imported():
+    for abbr in WORKLOADS:
+        workload = _workload(abbr)
+        stream = Profiler().prepare_stream(workload)
+        reference = _pinned(abbr)
+        assert len(stream) == reference["launches"]
+        assert launch_stream_digest(stream) == reference["digest"]
+
+
+def test_simulator_without_proxy_matches_explicit_none():
+    workload = _workload("GST")
+    stream = Profiler().prepare_stream(workload)
+    default = GPUSimulator(RTX_3080).run_stream(stream)
+    explicit = GPUSimulator(RTX_3080, proxy=None).run_stream(stream)
+    for a, b in zip(default, explicit):
+        for f in fields(a):
+            assert getattr(a, f.name) == getattr(b, f.name)
+
+
+def test_engine_run_with_proxy_disabled_is_bit_identical():
+    """run_suite (proxy machinery threaded, tolerance None) must equal
+    the plain characterize() path payload-for-payload."""
+    report = run_suite(["Cactus"], workloads=list(WORKLOADS))
+    for abbr in WORKLOADS:
+        plain = characterize(_workload(abbr))
+        engine_digest = stable_digest(
+            characterization_to_dict(report[abbr])
+        )
+        plain_digest = stable_digest(characterization_to_dict(plain))
+        assert engine_digest == plain_digest, (
+            f"{abbr}: proxy-off engine run diverged from the plain "
+            f"pipeline — the default path is no longer bit-exact"
+        )
+    # And no proxy activity was recorded anywhere in the run.
+    profile = report.run_profile
+    assert profile.counter("proxy.hits") == 0.0
+    assert profile.counter("proxy.misses") == 0.0
+    assert profile.counter("proxy.audits") == 0.0

@@ -103,7 +103,8 @@ class TestStats:
     def test_merge_and_render(self):
         a = CacheStats(memory_hits=1, disk_hits=2, misses=3, stores=4)
         b = CacheStats(
-            memory_hits=10, disk_hits=20, misses=30, stores=40, corrupt=2
+            memory_hits=10, disk_hits=20, misses=30, stores=40, corrupt=2,
+            proxy_hits=3,
         )
         a.merge(b)
         assert a.as_dict() == {
@@ -112,11 +113,20 @@ class TestStats:
             "misses": 33,
             "stores": 44,
             "corrupt": 2,
+            "proxy_hits": 3,
         }
         assert a.hits == 33
         assert a.lookups == 66
+        assert a.effective_hits == 36
+        assert a.effective_hit_rate == 36 / 66
         assert "hit rate 50%" in a.render()
+        assert "3 proxy hits" in a.render()
         assert "2 corrupt entries quarantined" in a.render()
+
+    def test_proxy_tier_absent_from_render_when_zero(self):
+        stats = CacheStats(memory_hits=1, misses=1)
+        assert "proxy" not in stats.render()
+        assert stats.effective_hits == stats.hits
 
     def test_empty_stats(self):
         stats = CacheStats()
