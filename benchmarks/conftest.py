@@ -41,18 +41,45 @@ def _engine_kwargs():
     return kwargs
 
 
+def _run_suites(suites):
+    """``run_suite`` with cache stats surfaced (and optionally gated).
+
+    With ``REPRO_REQUIRE_CACHE_WARM=1`` (the CI warm run), the fixture
+    fails unless every characterization was served from the persistent
+    cache — a 100% hit rate, zero misses.  A silent cache-key or
+    serialization regression would otherwise recompute everything and
+    still pass.
+    """
+    from repro.core import ResultCache
+
+    kwargs = _engine_kwargs()
+    cache = None
+    cache_dir = kwargs.pop("cache_dir", None)
+    if cache_dir:
+        cache = ResultCache(cache_dir=cache_dir)
+        kwargs["cache"] = cache
+    report = run_suite(suites, preset=OBSERVATION_SCALE, **kwargs)
+    if cache is not None:
+        stats = cache.stats
+        print(f"\n[cache] {'+'.join(suites)}: {stats.render()}")
+        if os.environ.get("REPRO_REQUIRE_CACHE_WARM"):
+            assert stats.misses == 0 and stats.hits == stats.lookups > 0, (
+                f"REPRO_REQUIRE_CACHE_WARM is set but the "
+                f"{'+'.join(suites)} run was not fully cache-served: "
+                f"{stats.render()} (hit rate "
+                f"{stats.hit_rate:.0%}, want 100%)"
+            )
+    return report
+
+
 @pytest.fixture(scope="session")
 def cactus_run():
-    return run_suite(["Cactus"], preset=OBSERVATION_SCALE, **_engine_kwargs())
+    return _run_suites(["Cactus"])
 
 
 @pytest.fixture(scope="session")
 def prt_run():
-    return run_suite(
-        ["Parboil", "Rodinia", "Tango"],
-        preset=OBSERVATION_SCALE,
-        **_engine_kwargs(),
-    )
+    return _run_suites(["Parboil", "Rodinia", "Tango"])
 
 
 @pytest.fixture(scope="session")

@@ -319,6 +319,82 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="write the sweep section to this file"
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the characterization service (HTTP/JSON job API)",
+        description=(
+            "Boots an asyncio HTTP server over the characterization "
+            "engine: POST /v1/jobs submits suite/workload/sweep "
+            "requests, identical concurrent submissions coalesce onto "
+            "one engine run, per-client token buckets bound the "
+            "submission rate, and GET /v1/jobs/{id}/events streams the "
+            "run's observability log.  SIGTERM drains gracefully; "
+            "journaled in-flight runs resume on the next start with "
+            "the same --state-dir.  The service shares the on-disk "
+            "result cache selected by --cache-dir/$REPRO_CACHE_DIR."
+        ),
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        metavar="N",
+        help="listen port; 0 picks an ephemeral port, written with the "
+        "host to <state-dir>/server.json for discovery (default: 0)",
+    )
+    serve.add_argument(
+        "--state-dir",
+        default=os.environ.get("REPRO_STATE_DIR", ".repro-service"),
+        metavar="PATH",
+        help="durable service state: job records, per-job journals and "
+        "traces, the default cache (default: $REPRO_STATE_DIR, else "
+        "./.repro-service)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent engine runs (worker threads; default: 2)",
+    )
+    serve.add_argument(
+        "--engine-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override every job's engine worker-process count "
+        "(default: honour the per-request 'jobs' field)",
+    )
+    serve.add_argument(
+        "--quota-burst",
+        type=float,
+        default=32.0,
+        metavar="N",
+        help="per-client token-bucket capacity: submissions admitted "
+        "instantly from a cold start (default: 32)",
+    )
+    serve.add_argument(
+        "--quota-rate",
+        type=float,
+        default=8.0,
+        metavar="N",
+        help="per-client sustained submission rate, tokens/second "
+        "(default: 8)",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="on SIGTERM, wait this long for running jobs before "
+        "persisting them as interrupted (default: 5)",
+    )
+
     trace = sub.add_parser("trace", help="export a workload kernel trace")
     trace.add_argument("abbr")
     trace.add_argument("path")
@@ -664,6 +740,64 @@ def _cmd_similar(args, run_kwargs) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import JobManager, QuotaConfig, ReproService
+
+    if args.workers < 1:
+        print("repro: error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        quota = QuotaConfig(
+            capacity=args.quota_burst, refill_per_s=args.quota_rate
+        )
+    except ValueError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    manager = JobManager(
+        state_dir=args.state_dir,
+        workers=args.workers,
+        engine_jobs=args.engine_jobs,
+        cache_dir=args.cache_dir,  # None → <state-dir>/cache
+        quota=quota,
+    )
+
+    async def _serve() -> int:
+        service = ReproService(
+            manager,
+            host=args.host,
+            port=args.port,
+            drain_grace_s=args.drain_grace,
+        )
+        port = await service.start()
+        recovered = manager.stats()["recovered"]
+        if recovered:
+            print(
+                f"[serve] recovered {len(recovered)} unfinished job(s); "
+                "re-queued for journal resume",
+                file=sys.stderr,
+            )
+        print(
+            f"[serve] listening on http://{args.host}:{port} "
+            f"(state: {manager.state_dir}, cache: {manager.cache_dir})",
+            file=sys.stderr,
+        )
+        interrupted = await service.serve_forever()
+        if interrupted:
+            print(
+                f"[serve] drained; {len(interrupted)} job(s) journaled "
+                "as interrupted (restart with the same --state-dir to "
+                "resume)",
+                file=sys.stderr,
+            )
+        else:
+            print("[serve] drained cleanly", file=sys.stderr)
+        return 0
+
+    return asyncio.run(_serve())
+
+
 def _cmd_trace(abbr: str, path: str, scale: float) -> int:
     from repro.profiler import export_trace
 
@@ -719,6 +853,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_characterize(args.abbr, args.scale)
     if args.command == "cache":
         return _cmd_cache(args, cache)
+    if args.command == "serve":
+        return _cmd_serve(args)
     try:
         if args.command == "table1":
             return _cmd_table1(run_kwargs)

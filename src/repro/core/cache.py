@@ -103,6 +103,22 @@ class CacheStats:
             "proxy_hits": self.proxy_hits,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CacheStats":
+        """Inverse of :meth:`as_dict` (unknown keys are ignored).
+
+        Used by the service layer to rehydrate persisted per-job cache
+        accounting across restarts; tolerant of older payloads that
+        predate a counter.
+        """
+        fields = (
+            "memory_hits", "disk_hits", "misses",
+            "stores", "corrupt", "proxy_hits",
+        )
+        return cls(**{
+            name: int(payload.get(name, 0)) for name in fields
+        })
+
     def render(self) -> str:
         text = (
             f"{self.hits}/{self.lookups} hits "

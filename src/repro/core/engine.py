@@ -464,6 +464,11 @@ class CharacterizationEngine:
                     completed = journal.begin(selected)
                     report.resumed = [a for a in selected if a in completed]
 
+                # One engine execution == one tick of this counter.  The
+                # service layer's request coalescing is proven against it:
+                # N coalesced submissions must leave engine.runs == 1 in
+                # the job's run profile.
+                session.tracer.incr("engine.runs")
                 remaining = [a for a in selected if a not in completed]
                 outcome = _ExecutionOutcome(results=dict(completed))
                 if remaining:
@@ -610,6 +615,7 @@ class CharacterizationEngine:
                 selected=len(selected),
                 devices=names,
             ):
+                session.tracer.incr("engine.runs")
                 journal: Optional[SweepJournal] = None
                 completed: Dict[str, Dict[str, Characterization]] = {}
                 if self.journal_dir is not None:

@@ -189,6 +189,38 @@ class RunJournal:
             return []
         return sorted(p.stem for p in self.done_dir.glob("*.json"))
 
+    @classmethod
+    def peek(cls, journal_dir) -> Dict[str, Any]:
+        """Read-only snapshot of a journal directory's progress.
+
+        Returns ``{"run_key", "status", "selected", "done"}`` without
+        constructing an engine or loading any characterization payloads
+        — the service layer uses this to report a running job's
+        checkpoint progress cheaply.  An absent or unreadable journal
+        yields an empty snapshot (``run_key=None, done=[]``).
+        """
+        root = Path(journal_dir)
+        meta: Dict[str, Any] = {}
+        try:
+            with open(root / "run.json", "r", encoding="utf-8") as handle:
+                loaded = json.load(handle)
+            if isinstance(loaded, dict):
+                meta = loaded
+        except (OSError, ValueError):
+            meta = {}
+        done_dir = root / "done"
+        done = (
+            sorted(p.stem for p in done_dir.glob("*.json"))
+            if done_dir.is_dir()
+            else []
+        )
+        return {
+            "run_key": meta.get("run_key"),
+            "status": meta.get("status"),
+            "selected": list(meta.get("selected", [])),
+            "done": done,
+        }
+
     def finish(self, ok: bool = True) -> None:
         """Mark the run's terminal status in ``run.json``."""
         meta = self._read_meta() or {

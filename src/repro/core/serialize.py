@@ -29,6 +29,7 @@ from repro.profiler.records import ApplicationProfile, KernelProfile
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.suite import SuiteRunReport
+    from repro.core.sweep import SweepRunReport
 
 
 # -- roofline points ---------------------------------------------------
@@ -184,6 +185,67 @@ def suite_run_report_from_dict(payload: Dict[str, Any]) -> "SuiteRunReport":
         results={
             abbr: characterization_from_dict(result)
             for abbr, result in payload["results"].items()
+        },
+        failures=[
+            WorkloadFailure.from_dict(f) for f in payload.get("failures", [])
+        ],
+        attempts={
+            abbr: int(count)
+            for abbr, count in payload.get("attempts", {}).items()
+        },
+        fallback_reason=payload.get("fallback_reason"),
+        resumed=list(payload.get("resumed", [])),
+        run_profile=(
+            RunProfile.from_dict(profile) if profile is not None else None
+        ),
+        trace_dir=payload.get("trace_dir"),
+    )
+
+
+def sweep_run_report_to_dict(report: "SweepRunReport") -> Dict[str, Any]:
+    """Serialize a device-sweep run report, post-mortem included.
+
+    Same contract as :func:`suite_run_report_to_dict`, with ``results``
+    holding one characterization dict per ``(workload, device)`` pair
+    and the swept device list serialized in sweep order.
+    """
+    return {
+        "devices": [device_spec_to_dict(d) for d in report.devices],
+        "preset": scale_preset_to_dict(report.preset),
+        "results": {
+            abbr: {
+                name: characterization_to_dict(entry)
+                for name, entry in per_device.items()
+            }
+            for abbr, per_device in report.results.items()
+        },
+        "failures": [failure.as_dict() for failure in report.failures],
+        "attempts": dict(report.attempts),
+        "fallback_reason": report.fallback_reason,
+        "resumed": list(report.resumed),
+        "run_profile": (
+            report.run_profile.as_dict()
+            if report.run_profile is not None
+            else None
+        ),
+        "trace_dir": report.trace_dir,
+    }
+
+
+def sweep_run_report_from_dict(payload: Dict[str, Any]) -> "SweepRunReport":
+    from repro.core.sweep import SweepRunReport
+    from repro.obs.metrics import RunProfile
+
+    profile = payload.get("run_profile")
+    return SweepRunReport(
+        devices=[device_spec_from_dict(d) for d in payload["devices"]],
+        preset=scale_preset_from_dict(payload["preset"]),
+        results={
+            abbr: {
+                name: characterization_from_dict(entry)
+                for name, entry in per_device.items()
+            }
+            for abbr, per_device in payload["results"].items()
         },
         failures=[
             WorkloadFailure.from_dict(f) for f in payload.get("failures", [])

@@ -26,6 +26,7 @@ from repro.obs.sinks import (
     JsonlSink,
     event_log_paths,
     read_events,
+    tail_events,
     write_chrome_trace,
 )
 from repro.obs.spans import NULL_TRACER, NullTracer, Span, Tracer, new_id
@@ -45,6 +46,7 @@ __all__ = [
     "event_log_paths",
     "new_id",
     "read_events",
+    "tail_events",
     "worker_tracer",
     "write_chrome_trace",
 ]

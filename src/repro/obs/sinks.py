@@ -30,6 +30,7 @@ __all__ = [
     "JsonlSink",
     "event_log_paths",
     "read_events",
+    "tail_events",
     "write_chrome_trace",
 ]
 
@@ -132,6 +133,50 @@ def read_events(
                 if isinstance(record, dict):
                     events.append(record)
     return events
+
+
+def tail_events(
+    source: Union[str, Path], offset: int = 0
+) -> "tuple[List[Dict[str, Any]], int]":
+    """Incrementally read new events from a live JSONL log.
+
+    Returns ``(events, new_offset)``: every *complete* record line that
+    starts at or after byte *offset*, plus the offset to resume from on
+    the next call.  A torn trailing line (writer mid-append) is left in
+    place — the offset never advances past it, so the next call re-reads
+    it once the newline lands.  An absent file yields ``([], offset)``.
+
+    This is the streaming primitive behind the service layer's
+    ``GET /v1/jobs/{id}/events`` endpoint: repeated calls during a run
+    see exactly the record sequence a post-hoc :func:`read_events`
+    would, in the same order.
+    """
+    path = Path(source)
+    try:
+        with path.open("rb") as handle:
+            handle.seek(offset)
+            chunk = handle.read()
+    except OSError:
+        return [], offset
+    events: List[Dict[str, Any]] = []
+    consumed = 0
+    cursor = 0
+    while True:
+        newline = chunk.find(b"\n", cursor)
+        if newline < 0:
+            break
+        line = chunk[cursor:newline].strip()
+        cursor = newline + 1
+        consumed = cursor
+        if not line:
+            continue
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            continue  # unparseable complete line: skip, don't re-read
+        if isinstance(record, dict):
+            events.append(record)
+    return events, offset + consumed
 
 
 def _chrome_events(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:

@@ -1,0 +1,69 @@
+"""Characterization-as-a-service: an async job API over the engine.
+
+``python -m repro serve`` boots a stdlib-only HTTP/JSON service that
+accepts suite/workload/sweep characterization requests, coalesces
+identical concurrent submissions onto a single engine execution
+(single-flight, keyed by the engine's own run digest), enforces
+per-client token-bucket quotas with fair FIFO-per-client scheduling,
+streams per-job observability events, and drains gracefully on SIGTERM
+— journaled, in-flight runs resume after restart.
+
+Layering (edge → core):
+
+* :mod:`repro.service.server` — asyncio HTTP/1.1 edge, routing, the
+  event stream, signal-driven drain;
+* :mod:`repro.service.jobs` — job store, worker pool, persistence,
+  recovery, the engine front;
+* :mod:`repro.service.coalesce` / :mod:`repro.service.quota` — the two
+  admission primitives (single-flight map; token buckets + fair queue);
+* :mod:`repro.service.schemas` — request validation and job identity;
+* :mod:`repro.service.client` — stdlib client used by tests and CI.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.coalesce import CoalesceStats, Coalescer
+from repro.service.jobs import (
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_INTERRUPTED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    JobManager,
+    JobRecord,
+)
+from repro.service.quota import (
+    ClientQuotas,
+    FairQueue,
+    QuotaConfig,
+    QuotaExceeded,
+    TokenBucket,
+)
+from repro.service.schemas import (
+    JobRequest,
+    ValidationError,
+    parse_job_request,
+)
+from repro.service.server import ReproService
+
+__all__ = [
+    "JOB_DONE",
+    "JOB_FAILED",
+    "JOB_INTERRUPTED",
+    "JOB_QUEUED",
+    "JOB_RUNNING",
+    "ClientQuotas",
+    "CoalesceStats",
+    "Coalescer",
+    "FairQueue",
+    "JobManager",
+    "JobRecord",
+    "JobRequest",
+    "QuotaConfig",
+    "QuotaExceeded",
+    "ReproService",
+    "ServiceClient",
+    "ServiceError",
+    "TokenBucket",
+    "ValidationError",
+    "parse_job_request",
+]

@@ -1,0 +1,170 @@
+"""Tiny stdlib client for the characterization service.
+
+Used by the test suite, the CI end-to-end smoke and the ``curl``-averse.
+One :class:`ServiceClient` per server; every call opens a fresh
+connection (the server is ``Connection: close`` throughout), so the
+client is trivially thread-safe — the concurrent-duplicate-submission
+smoke drives one instance from many threads.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """Non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        super().__init__(f"HTTP {status}: {payload}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8383,
+        client_id: Optional[str] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.timeout = timeout
+
+    @classmethod
+    def from_state_dir(
+        cls, state_dir: "str | Path", **kwargs: Any
+    ) -> "ServiceClient":
+        """Connect via the ``server.json`` discovery file the server
+        writes into its state dir (how the smoke finds an ephemeral
+        port)."""
+        payload = json.loads(
+            (Path(state_dir) / "server.json").read_text(encoding="utf-8")
+        )
+        return cls(host=payload["host"], port=int(payload["port"]), **kwargs)
+
+    # -- plumbing ------------------------------------------------------
+    def _headers(self) -> Dict[str, str]:
+        headers = {"Accept": "application/json"}
+        if self.client_id:
+            headers["X-Client"] = self.client_id
+        return headers
+
+    def _request(
+        self, method: str, path: str, body: Optional[Any] = None
+    ) -> Tuple[int, Any]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = self._headers()
+            encoded: Optional[bytes] = None
+            if body is not None:
+                encoded = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=encoded, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                payload = json.loads(raw.decode("utf-8")) if raw else None
+            except ValueError:
+                payload = {"raw": raw.decode("utf-8", "replace")}
+            return response.status, payload
+        finally:
+            conn.close()
+
+    def _ok(self, method: str, path: str, body: Optional[Any] = None) -> Any:
+        status, payload = self._request(method, path, body)
+        if status >= 300:
+            raise ServiceError(status, payload)
+        return payload
+
+    # -- API -----------------------------------------------------------
+    def submit(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """POST /v1/jobs; returns the job summary with ``coalesced``."""
+        return self._ok("POST", "/v1/jobs", request)
+
+    def submit_raw(self, request: Any) -> Tuple[int, Any]:
+        """Like :meth:`submit` but never raises — for error-path tests."""
+        return self._request("POST", "/v1/jobs", request)
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._ok("GET", "/v1/jobs")["jobs"]
+
+    def job(self, job_id: str, include_result: bool = True) -> Dict[str, Any]:
+        suffix = "" if include_result else "?result=0"
+        return self._ok("GET", f"/v1/jobs/{job_id}{suffix}")
+
+    def wait(
+        self, job_id: str, timeout_s: float = 120.0, poll_s: float = 0.1
+    ) -> Dict[str, Any]:
+        """Poll until the job leaves queued/running, then return it."""
+        import time
+
+        deadline = time.monotonic() + timeout_s
+        while True:
+            payload = self.job(job_id)
+            if payload["state"] not in ("queued", "running"):
+                return payload
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {payload['state']} after "
+                    f"{timeout_s}s"
+                )
+            time.sleep(poll_s)
+
+    def stream_events(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Yield obs events live until the server closes the stream."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request(
+                "GET", f"/v1/jobs/{job_id}/events", headers=self._headers()
+            )
+            response = conn.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                try:
+                    payload = json.loads(raw.decode("utf-8"))
+                except ValueError:
+                    payload = {"raw": raw.decode("utf-8", "replace")}
+                raise ServiceError(response.status, payload)
+            buffer = b""
+            while True:
+                chunk = response.read(65536)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if line.strip():
+                        yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()
+
+    def events(self, job_id: str) -> List[Dict[str, Any]]:
+        """Collect the whole event stream (blocks until job terminal)."""
+        return list(self.stream_events(job_id))
+
+    def devices(self) -> List[Dict[str, Any]]:
+        return self._ok("GET", "/v1/devices")["devices"]
+
+    def workloads(self) -> Dict[str, Any]:
+        return self._ok("GET", "/v1/workloads")["suites"]
+
+    def similar(self, key: str, k: int = 5) -> Dict[str, Any]:
+        from urllib.parse import quote
+
+        return self._ok("GET", f"/v1/similar?key={quote(key)}&k={k}")
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._ok("GET", "/healthz")

@@ -1,0 +1,94 @@
+"""Single-flight request coalescing keyed on the job content digest.
+
+The engine's results are deterministic functions of the job key (see
+:meth:`repro.service.schemas.JobRequest.job_key`), so N concurrent
+identical submissions need exactly one engine execution: the first
+submission admits a new job, every other one *attaches* to it as a
+subscriber and polls the same job id.  A completed job keeps serving
+later identical submissions from its stored result (the warm corpus); a
+*failed* job does not poison its key — the next identical submission
+re-admits a fresh attempt under the same id.
+
+The coalescer is deliberately dumb about what a "job" is: it maps keys
+to records produced by a caller-supplied factory under one lock, which
+is what makes the admit-or-attach decision atomic against concurrent
+submitters.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generic, List, Optional, TypeVar
+
+__all__ = ["CoalesceStats", "Coalescer"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class CoalesceStats:
+    """Admission accounting, served under ``/healthz``."""
+
+    #: Every submission that reached the coalescer (after quota).
+    submissions: int = 0
+    #: Submissions attached to an existing job instead of starting one.
+    coalesced: int = 0
+    #: Submissions that admitted a new job record.
+    admitted: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "submissions": self.submissions,
+            "coalesced": self.coalesced,
+            "admitted": self.admitted,
+        }
+
+
+@dataclass
+class Coalescer(Generic[T]):
+    """Atomic admit-or-attach map from job key to job record."""
+
+    #: Predicate deciding whether an existing record may absorb a new
+    #: identical submission.  Records it rejects are replaced by a
+    #: fresh ``factory()`` product under the same key.
+    reusable: Callable[[T], bool] = lambda record: True
+    stats: CoalesceStats = field(default_factory=CoalesceStats)
+    _records: Dict[str, T] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def admit(self, key: str, factory: Callable[[], T]) -> "tuple[T, bool]":
+        """Return ``(record, coalesced)`` for one submission of *key*.
+
+        ``coalesced`` is ``True`` when the submission attached to an
+        existing record; ``False`` when ``factory()`` built a new one.
+        The whole decision happens under the lock, so two racing
+        submitters of the same key can never both admit.
+        """
+        with self._lock:
+            self.stats.submissions += 1
+            record = self._records.get(key)
+            if record is not None and self.reusable(record):
+                self.stats.coalesced += 1
+                return record, True
+            record = factory()
+            self._records[key] = record
+            self.stats.admitted += 1
+            return record, False
+
+    def get(self, key: str) -> Optional[T]:
+        with self._lock:
+            return self._records.get(key)
+
+    def put(self, key: str, record: T) -> None:
+        """Install a record without counting a submission (recovery)."""
+        with self._lock:
+            self._records[key] = record
+
+    def records(self) -> List[T]:
+        with self._lock:
+            return list(self._records.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)

@@ -1,0 +1,237 @@
+"""Admission control: per-client token buckets and fair FIFO queueing.
+
+Two small, independently testable primitives sit between the HTTP edge
+and the job workers:
+
+* :class:`TokenBucket` — classic leaky-bucket admission.  A client
+  starts with ``capacity`` tokens; each submission costs one; tokens
+  refill continuously at ``refill_per_s``.  The invariant the property
+  suite pins (``tests/service/test_quota.py``): over **any** window the
+  number of admitted requests never exceeds
+  ``capacity + refill_per_s * window`` — a burst can spend the bucket,
+  but sustained traffic is rate-bound no matter how it is interleaved
+  or how many threads hammer the bucket at once.
+* :class:`FairQueue` — round-robin across clients, strict FIFO within
+  each client.  One client queueing a thousand jobs cannot starve
+  another client's first job: the scheduler rotates through clients
+  with pending work, taking one job per turn.  Per-client submission
+  order is never reordered (also property-tested).
+
+Both use an injectable clock so tests are deterministic; both are
+thread-safe (the service's asyncio edge and its worker threads share
+them).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
+
+__all__ = [
+    "ClientQuotas",
+    "FairQueue",
+    "QuotaConfig",
+    "QuotaExceeded",
+    "TokenBucket",
+]
+
+
+@dataclass(frozen=True)
+class QuotaConfig:
+    """Per-client admission limits (one bucket per client)."""
+
+    #: Burst budget: submissions admitted instantly from a cold start.
+    capacity: float = 32.0
+    #: Sustained admission rate, tokens (submissions) per second.
+    refill_per_s: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(
+                f"capacity must be positive, got {self.capacity}"
+            )
+        if self.refill_per_s < 0:
+            raise ValueError(
+                f"refill_per_s must be >= 0, got {self.refill_per_s}"
+            )
+
+
+class QuotaExceeded(Exception):
+    """A client exhausted its token bucket."""
+
+    def __init__(self, client: str, retry_after_s: float) -> None:
+        super().__init__(
+            f"client {client!r} is over its submission quota; retry in "
+            f"{retry_after_s:.2f}s"
+        )
+        self.client = client
+        self.retry_after_s = retry_after_s
+
+
+class TokenBucket:
+    """Thread-safe continuous-refill token bucket."""
+
+    def __init__(
+        self,
+        capacity: float,
+        refill_per_s: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if refill_per_s < 0:
+            raise ValueError(
+                f"refill_per_s must be >= 0, got {refill_per_s}"
+            )
+        self.capacity = float(capacity)
+        self.refill_per_s = float(refill_per_s)
+        self._clock = clock
+        self._tokens = self.capacity
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def _refill_locked(self, now: float) -> None:
+        elapsed = now - self._updated
+        if elapsed > 0:
+            self._tokens = min(
+                self.capacity, self._tokens + elapsed * self.refill_per_s
+            )
+        self._updated = now
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Spend *tokens* if available; never blocks, never overdrafts."""
+        if tokens <= 0:
+            raise ValueError(f"tokens must be positive, got {tokens}")
+        with self._lock:
+            self._refill_locked(self._clock())
+            if self._tokens + 1e-9 >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    @property
+    def tokens(self) -> float:
+        """Current token balance (refreshed to now)."""
+        with self._lock:
+            self._refill_locked(self._clock())
+            return self._tokens
+
+    def retry_after_s(self, tokens: float = 1.0) -> float:
+        """Seconds until *tokens* will be available (0 if already are)."""
+        with self._lock:
+            self._refill_locked(self._clock())
+            deficit = tokens - self._tokens
+            if deficit <= 0:
+                return 0.0
+            if self.refill_per_s == 0:
+                return float("inf")
+            return deficit / self.refill_per_s
+
+
+class ClientQuotas:
+    """One :class:`TokenBucket` per client, created on first sight."""
+
+    def __init__(
+        self,
+        config: Optional[QuotaConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config or QuotaConfig()
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def bucket(self, client: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(
+                    self.config.capacity,
+                    self.config.refill_per_s,
+                    clock=self._clock,
+                )
+                self._buckets[client] = bucket
+            return bucket
+
+    def admit(self, client: str) -> None:
+        """Charge one token; raise :class:`QuotaExceeded` when empty."""
+        bucket = self.bucket(client)
+        if not bucket.try_acquire():
+            raise QuotaExceeded(client, bucket.retry_after_s())
+
+
+class FairQueue:
+    """Round-robin-across-clients queue, FIFO within each client.
+
+    ``push`` never blocks.  ``pop`` blocks up to *timeout* (forever by
+    default) and returns ``None`` once the queue is closed and empty —
+    the worker-shutdown signal.
+    """
+
+    def __init__(self) -> None:
+        # OrderedDict gives deterministic client rotation order
+        # (first-seen first) for reproducible tests.
+        self._queues: "OrderedDict[str, Deque[Any]]" = OrderedDict()
+        self._ring: Deque[str] = deque()
+        self._size = 0
+        self._closed = False
+        self._cond = threading.Condition()
+
+    def push(self, client: str, item: Any) -> None:
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            queue = self._queues.get(client)
+            if queue is None:
+                queue = deque()
+                self._queues[client] = queue
+            if not queue:
+                self._ring.append(client)
+            queue.append(item)
+            self._size += 1
+            self._cond.notify()
+
+    def pop(
+        self, timeout: Optional[float] = None
+    ) -> Optional[Tuple[str, Any]]:
+        """Next ``(client, item)`` in fair order, or ``None`` on close.
+
+        A ``None`` return with ``timeout`` set may also mean the wait
+        timed out; check :meth:`closed` to distinguish.
+        """
+        with self._cond:
+            while self._size == 0:
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout=timeout):
+                    return None
+            client = self._ring.popleft()
+            queue = self._queues[client]
+            item = queue.popleft()
+            self._size -= 1
+            if queue:
+                self._ring.append(client)  # back of the rotation
+            return client, item
+
+    def close(self) -> None:
+        """Refuse new pushes and wake every blocked ``pop``."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._cond:
+            return self._size
+
+    def pending(self, client: str) -> int:
+        with self._cond:
+            queue = self._queues.get(client)
+            return len(queue) if queue else 0

@@ -1,0 +1,447 @@
+"""Asyncio HTTP/JSON edge for the characterization service.
+
+A deliberately small, stdlib-only HTTP/1.1 server (no framework, no new
+runtime dependency) in front of :class:`~repro.service.jobs.JobManager`:
+
+========  ==========================  =====================================
+method    path                        meaning
+========  ==========================  =====================================
+POST      ``/v1/jobs``                submit a characterization request
+GET       ``/v1/jobs``                list known jobs (summaries)
+GET       ``/v1/jobs/{id}``           job status (+ result once done)
+GET       ``/v1/jobs/{id}/events``    live ndjson stream of obs events
+GET       ``/v1/devices``             the device zoo
+GET       ``/v1/workloads``           suites and workload descriptions
+GET       ``/v1/similar``             kernel-similarity over done jobs
+GET       ``/healthz``                liveness + coalesce/quota counters
+========  ==========================  =====================================
+
+Submissions respond ``202 Accepted`` with the job summary plus a
+``coalesced`` flag; identical concurrent submissions receive the *same*
+job id (single-flight coalescing, see :mod:`repro.service.coalesce`).
+Validation problems are ``400`` with every error listed; quota
+exhaustion is ``429`` with a ``Retry-After`` header; a draining server
+answers ``503``.
+
+The event stream replays the job's on-disk ``events.jsonl`` from the
+start, then tails it (via :func:`repro.obs.tail_events`, which never
+reads a torn line) until the job reaches a terminal state — so a client
+that connects late still sees every event, and the streamed bytes are
+exactly the file's complete lines.
+
+Shutdown: SIGTERM/SIGINT triggers a graceful drain — stop accepting,
+give running jobs a grace window, persist the rest as *interrupted*.
+Their engine journals make a restart (same ``--state-dir``) resume
+instead of recompute.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import socket
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.obs import tail_events
+from repro.service.jobs import JobManager
+from repro.service.quota import QuotaExceeded
+from repro.service.schemas import ValidationError, zoo_payload
+from repro.workloads import get_workload, list_suites, list_workloads
+
+__all__ = ["ReproService"]
+
+_MAX_BODY_BYTES = 1 << 20  # requests are small JSON; 1 MiB is generous
+_EVENT_POLL_S = 0.1
+
+
+class _HttpError(Exception):
+    def __init__(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        super().__init__(payload.get("error", status))
+        self.status = status
+        self.payload = payload
+        self.headers = headers or {}
+
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _response_bytes(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+
+def _json_bytes(payload: Any) -> bytes:
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+class ReproService:
+    """Bind a :class:`JobManager` to an asyncio HTTP listener."""
+
+    def __init__(
+        self,
+        manager: JobManager,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        drain_grace_s: float = 5.0,
+    ) -> None:
+        self.manager = manager
+        self.host = host
+        self.port = port  # 0 → ephemeral; actual port set by start()
+        self.drain_grace_s = drain_grace_s
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> int:
+        """Recover + start workers, bind the socket, return the port."""
+        self.manager.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        sockets = self._server.sockets or []
+        for sock in sockets:
+            if sock.family in (socket.AF_INET, socket.AF_INET6):
+                self.port = sock.getsockname()[1]
+                break
+        self._write_discovery()
+        return self.port
+
+    def _write_discovery(self) -> None:
+        """``server.json`` in the state dir: how clients find the port."""
+        path = self.manager.state_dir / "server.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(
+                {"host": self.host, "port": self.port},
+                separators=(",", ":"),
+            ),
+            encoding="utf-8",
+        )
+
+    def request_shutdown(self) -> None:
+        self._shutdown.set()
+
+    async def serve_forever(self, install_signals: bool = True) -> List[str]:
+        """Serve until SIGTERM/SIGINT (or :meth:`request_shutdown`).
+
+        Returns the ids of jobs left *interrupted* by the drain.
+        """
+        if install_signals:
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, self._shutdown.set)
+                except (NotImplementedError, RuntimeError):
+                    pass  # platform without signal support
+        await self._shutdown.wait()
+        return await self.stop()
+
+    async def stop(self) -> List[str]:
+        """Close the listener, then drain the manager."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        interrupted = await asyncio.to_thread(
+            self.manager.drain, self.drain_grace_s
+        )
+        return interrupted
+
+    # -- connection handling -------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            await self._handle_request(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as exc:  # noqa: BLE001 - keep the server alive
+            try:
+                writer.write(
+                    _response_bytes(
+                        500,
+                        _json_bytes(
+                            {"error": f"{type(exc).__name__}: {exc}"}
+                        ),
+                    )
+                )
+                await writer.drain()
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            method, target, headers = await self._read_head(reader)
+            body = await self._read_body(reader, headers)
+            parts = urlsplit(target)
+            path = unquote(parts.path)
+            query = parse_qs(parts.query)
+            client = (
+                headers.get("x-client", "").strip() or self._peer(writer)
+            )
+            if method == "GET" and self._is_events_path(path):
+                await self._stream_events(writer, path)
+                return
+            status, payload, extra = self._route(
+                method, path, query, body, client
+            )
+        except _HttpError as exc:
+            status, payload, extra = exc.status, exc.payload, exc.headers
+        writer.write(
+            _response_bytes(status, _json_bytes(payload), extra_headers=extra)
+        )
+        await writer.drain()
+
+    async def _read_head(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, Dict[str, str]]:
+        request_line = await reader.readline()
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise _HttpError(400, {"error": "malformed request line"})
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            text = line.decode("latin-1").strip()
+            if not text:
+                break
+            name, _, value = text.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return method, target, headers
+
+    async def _read_body(
+        self, reader: asyncio.StreamReader, headers: Dict[str, str]
+    ) -> bytes:
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _HttpError(400, {"error": "bad Content-Length"}) from None
+        if length <= 0:
+            return b""
+        if length > _MAX_BODY_BYTES:
+            raise _HttpError(413, {"error": "request body too large"})
+        return await reader.readexactly(length)
+
+    @staticmethod
+    def _peer(writer: asyncio.StreamWriter) -> str:
+        peer = writer.get_extra_info("peername")
+        if isinstance(peer, (tuple, list)) and peer:
+            return str(peer[0])
+        return "unknown"
+
+    # -- routing -------------------------------------------------------
+    @staticmethod
+    def _is_events_path(path: str) -> bool:
+        segments = [s for s in path.split("/") if s]
+        return (
+            len(segments) == 4
+            and segments[:2] == ["v1", "jobs"]
+            and segments[3] == "events"
+        )
+
+    def _route(
+        self,
+        method: str,
+        path: str,
+        query: Dict[str, List[str]],
+        body: bytes,
+        client: str,
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        segments = [s for s in path.split("/") if s]
+        if path == "/healthz" and method == "GET":
+            return 200, {"status": "ok", **self.manager.stats()}, {}
+        if segments[:2] == ["v1", "jobs"]:
+            if len(segments) == 2:
+                if method == "POST":
+                    return self._submit(body, client)
+                if method == "GET":
+                    return (
+                        200,
+                        {"jobs": [r.summary() for r in self.manager.jobs()]},
+                        {},
+                    )
+                raise _HttpError(405, {"error": f"{method} not allowed"})
+            if len(segments) == 3 and method == "GET":
+                return self._job_status(segments[2], query)
+        if path == "/v1/devices" and method == "GET":
+            return 200, {"devices": zoo_payload()}, {}
+        if path == "/v1/workloads" and method == "GET":
+            return 200, _workloads_payload(), {}
+        if path == "/v1/similar" and method == "GET":
+            return self._similar(query)
+        raise _HttpError(404, {"error": f"no route for {method} {path}"})
+
+    def _submit(
+        self, body: bytes, client: str
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (ValueError, UnicodeDecodeError):
+            raise _HttpError(
+                400, {"error": "request body is not valid JSON"}
+            ) from None
+        try:
+            record, coalesced = self.manager.submit(payload, client=client)
+        except ValidationError as exc:
+            raise _HttpError(400, exc.as_dict()) from None
+        except QuotaExceeded as exc:
+            retry = max(0.0, exc.retry_after_s)
+            raise _HttpError(
+                429,
+                {"error": str(exc), "retry_after_s": retry},
+                {"Retry-After": f"{retry:.3f}"},
+            ) from None
+        except RuntimeError as exc:
+            raise _HttpError(503, {"error": str(exc)}) from None
+        summary = record.summary()
+        summary["coalesced"] = coalesced
+        return 202, summary, {}
+
+    def _job_status(
+        self, job_id: str, query: Dict[str, List[str]]
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        record = self.manager.get(job_id)
+        if record is None:
+            raise _HttpError(404, {"error": f"unknown job {job_id!r}"})
+        payload = record.summary()
+        want_result = query.get("result", ["1"])[-1] not in ("0", "false")
+        if want_result and record.result is not None:
+            payload["result"] = record.result
+        payload["journal"] = self.manager.journal_progress(job_id)
+        return 200, payload, {}
+
+    def _similar(
+        self, query: Dict[str, List[str]]
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        keys = query.get("key")
+        if not keys:
+            raise _HttpError(
+                400, {"error": "missing required query parameter 'key'"}
+            )
+        try:
+            k = int(query.get("k", ["5"])[-1])
+        except ValueError:
+            raise _HttpError(400, {"error": "k must be an integer"}) from None
+        try:
+            payload = self.manager.similar(keys[-1], k=k)
+        except KeyError as exc:
+            raise _HttpError(
+                404, {"error": f"kernel {exc.args[0]!r} not in corpus"}
+            ) from None
+        except ValueError as exc:
+            raise _HttpError(400, {"error": str(exc)}) from None
+        return 200, payload, {}
+
+    # -- event streaming -----------------------------------------------
+    async def _stream_events(
+        self, writer: asyncio.StreamWriter, path: str
+    ) -> None:
+        """Replay + tail a job's ``events.jsonl`` as ndjson until done.
+
+        Every streamed line is a complete line of the on-disk file (the
+        tail reader never crosses a torn write), so capturing this
+        stream and diffing it against the file is an exact equality
+        check — which is what the CI smoke does.
+        """
+        job_id = [s for s in path.split("/") if s][2]
+        record = self.manager.get(job_id)
+        if record is None:
+            writer.write(
+                _response_bytes(
+                    404, _json_bytes({"error": f"unknown job {job_id!r}"})
+                )
+            )
+            await writer.drain()
+            return
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("ascii"))
+        await writer.drain()
+        events_path: Path = self.manager.events_path(job_id)
+        offset = 0
+        while True:
+            events, offset = tail_events(events_path, offset)
+            for event in events:
+                writer.write(
+                    json.dumps(event, separators=(",", ":")).encode("utf-8")
+                    + b"\n"
+                )
+            if events:
+                await writer.drain()
+            if record.done_event.is_set():
+                # One final read: the run may have flushed events
+                # between our last read and the terminal transition.
+                events, offset = tail_events(events_path, offset)
+                for event in events:
+                    writer.write(
+                        json.dumps(event, separators=(",", ":")).encode(
+                            "utf-8"
+                        )
+                        + b"\n"
+                    )
+                await writer.drain()
+                return
+            await asyncio.sleep(_EVENT_POLL_S)
+
+
+def _workloads_payload() -> Dict[str, Any]:
+    suites: Dict[str, List[Dict[str, str]]] = {}
+    for suite in list_suites():
+        entries = []
+        for abbr in list_workloads(suite):
+            # Tiny scale: we only want the static info, not a dataset.
+            info = get_workload(abbr, scale=0.01).info
+            entries.append(
+                {
+                    "abbr": info.abbr,
+                    "name": info.name,
+                    "suite": info.suite,
+                    "domain": info.domain,
+                    "description": info.description,
+                    "dataset": info.dataset,
+                }
+            )
+        suites[suite] = entries
+    return {"suites": suites}

@@ -12,6 +12,7 @@ from repro.workloads.base import Workload, WorkloadInfo
 from repro.workloads.registry import (
     cactus_workloads,
     get_workload,
+    list_suites,
     list_workloads,
     prt_workloads,
     register_workload,
@@ -22,6 +23,7 @@ __all__ = [
     "WorkloadInfo",
     "cactus_workloads",
     "get_workload",
+    "list_suites",
     "list_workloads",
     "prt_workloads",
     "register_workload",

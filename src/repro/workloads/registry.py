@@ -54,6 +54,12 @@ def get_workload(abbr: str, scale: float = 1.0, seed: int = 0) -> Workload:
     return _REGISTRY[key](scale=scale, seed=seed)
 
 
+def list_suites() -> List[str]:
+    """Names of every registered suite, in registration order."""
+    _ensure_loaded()
+    return list(_SUITES)
+
+
 def list_workloads(suite: Optional[str] = None) -> List[str]:
     """Abbreviations of all registered workloads (optionally one suite)."""
     _ensure_loaded()

@@ -1,0 +1,76 @@
+"""Single-flight coalescer: atomicity and reuse policy."""
+
+import threading
+
+from repro.service.coalesce import Coalescer
+
+
+class TestCoalescer:
+    def test_first_admits_rest_attach(self):
+        coalescer = Coalescer()
+        record, coalesced = coalescer.admit("k", lambda: {"n": 1})
+        assert not coalesced
+        again, coalesced = coalescer.admit("k", lambda: {"n": 2})
+        assert coalesced
+        assert again is record
+        stats = coalescer.stats.as_dict()
+        assert stats == {"submissions": 2, "coalesced": 1, "admitted": 1}
+
+    def test_distinct_keys_do_not_coalesce(self):
+        coalescer = Coalescer()
+        a, _ = coalescer.admit("a", dict)
+        b, _ = coalescer.admit("b", dict)
+        assert a is not b
+        assert len(coalescer) == 2
+
+    def test_non_reusable_record_is_replaced(self):
+        coalescer = Coalescer(reusable=lambda r: r["state"] != "failed")
+        first, _ = coalescer.admit("k", lambda: {"state": "failed"})
+        second, coalesced = coalescer.admit("k", lambda: {"state": "queued"})
+        assert not coalesced
+        assert second is not first
+        assert coalescer.get("k") is second
+        # a reusable record then absorbs the next submission
+        third, coalesced = coalescer.admit("k", lambda: {"state": "nope"})
+        assert coalesced and third is second
+
+    def test_put_installs_without_counting(self):
+        coalescer = Coalescer()
+        coalescer.put("k", {"recovered": True})
+        assert coalescer.stats.submissions == 0
+        record, coalesced = coalescer.admit("k", dict)
+        assert coalesced
+        assert record == {"recovered": True}
+
+    def test_concurrent_submissions_admit_exactly_once(self):
+        """N racing submitters of one key -> one factory call, one
+        admitted, N-1 coalesced — the service's core guarantee."""
+        coalescer = Coalescer()
+        threads_n = 16
+        barrier = threading.Barrier(threads_n)
+        factory_calls = []
+        results = []
+        lock = threading.Lock()
+
+        def factory():
+            factory_calls.append(1)
+            return {"owner": threading.get_ident()}
+
+        def submit():
+            barrier.wait()
+            record, coalesced = coalescer.admit("k", factory)
+            with lock:
+                results.append((id(record), coalesced))
+
+        pool = [threading.Thread(target=submit) for _ in range(threads_n)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert len(factory_calls) == 1
+        assert len({record_id for record_id, _ in results}) == 1
+        assert sum(1 for _, c in results if not c) == 1
+        stats = coalescer.stats
+        assert stats.submissions == threads_n
+        assert stats.admitted == 1
+        assert stats.coalesced == threads_n - 1

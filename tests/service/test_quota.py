@@ -1,0 +1,231 @@
+"""Admission-control invariants: token bucket and fair queue.
+
+The two properties the service's correctness rests on, pinned with
+hypothesis:
+
+* a :class:`TokenBucket` never over-admits — over any window, admits
+  <= capacity + rate * elapsed, no matter how requests interleave and
+  no matter how many threads hammer the bucket concurrently;
+* a :class:`FairQueue` never reorders one client's submissions, and
+  rotates fairly across clients.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.quota import (
+    ClientQuotas,
+    FairQueue,
+    QuotaConfig,
+    QuotaExceeded,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+# -- token bucket ------------------------------------------------------
+class TestTokenBucket:
+    def test_burst_then_exhaustion(self):
+        clock = FakeClock()
+        bucket = TokenBucket(3, 1.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+
+    def test_refill_restores_admission(self):
+        clock = FakeClock()
+        bucket = TokenBucket(1, 2.0, clock=clock)
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # 0.5s * 2/s = 1 token
+        assert bucket.try_acquire()
+
+    def test_refill_caps_at_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(2, 10.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.tokens == pytest.approx(2.0)
+
+    def test_retry_after_matches_refill_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(1, 4.0, clock=clock)
+        bucket.try_acquire()
+        assert bucket.retry_after_s() == pytest.approx(0.25)
+
+    def test_zero_refill_never_recovers(self):
+        clock = FakeClock()
+        bucket = TokenBucket(1, 0.0, clock=clock)
+        assert bucket.try_acquire()
+        clock.advance(1e6)
+        assert not bucket.try_acquire()
+        assert bucket.retry_after_s() == float("inf")
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0, 1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(1, -1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(1, 1.0).try_acquire(0)
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=20),
+        rate=st.floats(min_value=0.0, max_value=50.0),
+        steps=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=2.0),  # dt before try
+                st.integers(min_value=1, max_value=10),  # tries at that t
+            ),
+            max_size=30,
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_never_over_admits(self, capacity, rate, steps):
+        """admitted <= capacity + rate * elapsed over ANY interleaving."""
+        clock = FakeClock()
+        bucket = TokenBucket(capacity, rate, clock=clock)
+        admitted = 0
+        for dt, tries in steps:
+            clock.advance(dt)
+            for _ in range(tries):
+                if bucket.try_acquire():
+                    admitted += 1
+        # 1e-6 absorbs float refill accumulation across steps.
+        assert admitted <= capacity + rate * clock.now + 1e-6
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=8),
+        threads=st.integers(min_value=2, max_value=8),
+        tries_per_thread=st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_never_over_admits_concurrently(
+        self, capacity, threads, tries_per_thread
+    ):
+        """A frozen-clock burst from N threads admits <= capacity."""
+        clock = FakeClock()  # never advanced: zero refill during burst
+        bucket = TokenBucket(capacity, 1000.0, clock=clock)
+        admitted = []
+        barrier = threading.Barrier(threads)
+
+        def hammer():
+            barrier.wait()
+            count = 0
+            for _ in range(tries_per_thread):
+                if bucket.try_acquire():
+                    count += 1
+            admitted.append(count)
+
+        pool = [threading.Thread(target=hammer) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert sum(admitted) <= capacity
+
+
+# -- client quotas -----------------------------------------------------
+class TestClientQuotas:
+    def test_buckets_are_per_client(self):
+        clock = FakeClock()
+        quotas = ClientQuotas(
+            QuotaConfig(capacity=1, refill_per_s=0.0), clock=clock
+        )
+        quotas.admit("alice")
+        with pytest.raises(QuotaExceeded) as excinfo:
+            quotas.admit("alice")
+        assert excinfo.value.client == "alice"
+        quotas.admit("bob")  # untouched bucket
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            QuotaConfig(capacity=0)
+        with pytest.raises(ValueError):
+            QuotaConfig(refill_per_s=-1)
+
+
+# -- fair queue --------------------------------------------------------
+class TestFairQueue:
+    def test_round_robin_across_clients(self):
+        queue = FairQueue()
+        for item in ("a1", "a2", "a3"):
+            queue.push("alice", item)
+        queue.push("bob", "b1")
+        order = [queue.pop(timeout=0)[1] for _ in range(4)]
+        # bob's single job is not starved behind alice's backlog
+        assert order == ["a1", "b1", "a2", "a3"]
+
+    def test_pop_returns_none_when_closed_and_empty(self):
+        queue = FairQueue()
+        queue.push("alice", 1)
+        queue.close()
+        assert queue.pop(timeout=0) == ("alice", 1)
+        assert queue.pop(timeout=0) is None
+
+    def test_push_after_close_raises(self):
+        queue = FairQueue()
+        queue.close()
+        with pytest.raises(RuntimeError):
+            queue.push("alice", 1)
+
+    def test_close_wakes_blocked_pop(self):
+        queue = FairQueue()
+        result = []
+        thread = threading.Thread(
+            target=lambda: result.append(queue.pop(timeout=5))
+        )
+        thread.start()
+        queue.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert result == [None]
+
+    def test_pending_and_len(self):
+        queue = FairQueue()
+        queue.push("a", 1)
+        queue.push("a", 2)
+        queue.push("b", 3)
+        assert len(queue) == 3
+        assert queue.pending("a") == 2
+        assert queue.pending("missing") == 0
+
+    @given(
+        pushes=st.lists(
+            st.tuples(
+                st.sampled_from(["alice", "bob", "carol"]),
+                st.integers(),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_per_client_fifo_preserved(self, pushes):
+        """Whatever the interleaving, each client's items pop in
+        submission order, and nothing is lost or invented."""
+        queue = FairQueue()
+        for client, item in pushes:
+            queue.push(client, item)
+        popped = []
+        while True:
+            entry = queue.pop(timeout=0)
+            if entry is None:
+                break
+            popped.append(entry)
+        assert len(popped) == len(pushes)
+        for client in {c for c, _ in pushes}:
+            pushed_order = [i for c, i in pushes if c == client]
+            popped_order = [i for c, i in popped if c == client]
+            assert popped_order == pushed_order

@@ -1,0 +1,228 @@
+"""HTTP edge tests: an in-process server on an ephemeral port.
+
+The asyncio server runs on a background thread; the stdlib
+:class:`ServiceClient` talks to it over real sockets from the test
+thread, so request parsing, routing, streaming and error mapping are
+all exercised end-to-end (without the process-level concerns the CI
+smoke covers: signals, restart, environment).
+"""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.service import (
+    JobManager,
+    QuotaConfig,
+    ReproService,
+    ServiceClient,
+    ServiceError,
+)
+
+FAST_REQUEST = {"workloads": ["DCG"], "device": "RTX 3080"}
+
+
+class ServerHandle:
+    def __init__(self, service, manager, client):
+        self.service = service
+        self.manager = manager
+        self.client = client
+
+
+@pytest.fixture
+def serve(tmp_path):
+    """Factory fixture: boot a server thread, yield a connected client."""
+    handles = []
+
+    def boot(**manager_kwargs) -> ServerHandle:
+        manager_kwargs.setdefault("workers", 2)
+        manager_kwargs.setdefault(
+            "quota", QuotaConfig(capacity=1024.0, refill_per_s=1024.0)
+        )
+        manager = JobManager(
+            state_dir=tmp_path / "state", **manager_kwargs
+        )
+        service = ReproService(manager, port=0, drain_grace_s=2.0)
+        loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(service.start())
+            started.set()
+            loop.run_until_complete(
+                service.serve_forever(install_signals=False)
+            )
+            loop.close()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert started.wait(timeout=10), "server failed to start"
+        client = ServiceClient(
+            port=service.port, client_id="pytest", timeout=30.0
+        )
+        handle = ServerHandle(service, manager, client)
+        handles.append((handle, loop, thread))
+        return handle
+
+    yield boot
+    for handle, loop, thread in handles:
+        loop.call_soon_threadsafe(handle.service.request_shutdown)
+        thread.join(timeout=15)
+        assert not thread.is_alive(), "server thread failed to drain"
+
+
+class TestLifecycle:
+    def test_discovery_file_matches_bound_port(self, serve, tmp_path):
+        handle = serve()
+        payload = json.loads(
+            (tmp_path / "state" / "server.json").read_text()
+        )
+        assert payload["port"] == handle.service.port
+        assert handle.service.port != 0  # ephemeral port was resolved
+
+    def test_healthz(self, serve):
+        handle = serve()
+        payload = handle.client.healthz()
+        assert payload["status"] == "ok"
+        assert payload["draining"] is False
+        assert payload["coalesce"] == {
+            "submissions": 0, "coalesced": 0, "admitted": 0,
+        }
+
+
+class TestJobsApi:
+    def test_submit_wait_result(self, serve):
+        handle = serve()
+        accepted = handle.client.submit(FAST_REQUEST)
+        assert accepted["state"] in ("queued", "running")
+        assert accepted["coalesced"] is False
+        final = handle.client.wait(accepted["id"], timeout_s=60)
+        assert final["state"] == "done"
+        assert set(final["result"]["results"]) == {"DCG"}
+        assert (
+            final["result"]["run_profile"]["counters"]["engine.runs"] == 1.0
+        )
+        # ?result=0 strips the payload but keeps the status
+        slim = handle.client.job(accepted["id"], include_result=False)
+        assert slim["state"] == "done"
+        assert "result" not in slim
+
+    def test_duplicate_submissions_share_one_job(self, serve):
+        handle = serve()
+        n = 6
+        responses = []
+        lock = threading.Lock()
+
+        def post():
+            response = handle.client.submit(FAST_REQUEST)
+            with lock:
+                responses.append(response)
+
+        pool = [threading.Thread(target=post) for _ in range(n)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        ids = {r["id"] for r in responses}
+        assert len(ids) == 1
+        assert sum(1 for r in responses if not r["coalesced"]) == 1
+        final = handle.client.wait(ids.pop(), timeout_s=60)
+        assert final["state"] == "done"
+        assert final["subscribers"] == n
+        health = handle.client.healthz()
+        assert health["engine_runs"]["started"] == 1
+        assert health["coalesce"]["submissions"] == n
+        assert (
+            final["result"]["run_profile"]["counters"]["engine.runs"] == 1.0
+        )
+
+    def test_jobs_listing(self, serve):
+        handle = serve()
+        accepted = handle.client.submit(FAST_REQUEST)
+        listed = handle.client.jobs()
+        assert [job["id"] for job in listed] == [accepted["id"]]
+        assert "result" not in listed[0]  # summaries only
+
+    def test_event_stream_equals_on_disk_log(self, serve):
+        handle = serve()
+        accepted = handle.client.submit(FAST_REQUEST)
+        streamed = handle.client.events(accepted["id"])
+        assert streamed, "no events streamed"
+        on_disk = [
+            json.loads(line)
+            for line in handle.manager.events_path(accepted["id"])
+            .read_text(encoding="utf-8")
+            .splitlines()
+            if line.strip()
+        ]
+        assert streamed == on_disk
+
+    def test_validation_error_is_400_with_details(self, serve):
+        handle = serve()
+        status, payload = handle.client.submit_raw(
+            {"kind": "banana", "preset": "galactic"}
+        )
+        assert status == 400
+        assert payload["error"] == "invalid request"
+        assert len(payload["details"]) == 2
+
+    def test_malformed_json_is_400(self, serve):
+        handle = serve()
+        status, payload = handle.client.submit_raw("not json at all")
+        # the string *is* valid JSON, but not an object
+        assert status == 400
+
+    def test_quota_exhaustion_is_429_with_retry_after(self, serve):
+        handle = serve(quota=QuotaConfig(capacity=1.0, refill_per_s=0.25))
+        handle.client.submit(FAST_REQUEST)
+        with pytest.raises(ServiceError) as excinfo:
+            handle.client.submit(FAST_REQUEST)
+        assert excinfo.value.status == 429
+        assert excinfo.value.payload["retry_after_s"] > 0
+
+    def test_unknown_job_is_404(self, serve):
+        handle = serve()
+        with pytest.raises(ServiceError) as excinfo:
+            handle.client.job("no-such-job")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceError) as excinfo:
+            handle.client.events("no-such-job")
+        assert excinfo.value.status == 404
+
+    def test_unknown_route_and_bad_method(self, serve):
+        handle = serve()
+        status, _ = handle.client._request("GET", "/v1/nope")
+        assert status == 404
+        status, _ = handle.client._request("DELETE", "/v1/jobs")
+        assert status == 405
+
+
+class TestCatalogApi:
+    def test_devices(self, serve):
+        handle = serve()
+        devices = handle.client.devices()
+        assert any(d["name"] == "RTX 3080" for d in devices)
+        assert all("peak_gips" in d for d in devices)
+
+    def test_workloads(self, serve):
+        handle = serve()
+        suites = handle.client.workloads()
+        assert "Cactus" in suites
+        cactus = {entry["abbr"] for entry in suites["Cactus"]}
+        assert {"DCG", "NST", "GMS"} <= cactus
+
+    def test_similar_end_to_end(self, serve):
+        handle = serve()
+        accepted = handle.client.submit(FAST_REQUEST)
+        final = handle.client.wait(accepted["id"], timeout_s=60)
+        kernel = final["result"]["results"]["DCG"]["profile"]["kernels"][0]
+        payload = handle.client.similar(f"DCG:{kernel['name']}", k=2)
+        assert len(payload["neighbors"]) == 2
+        with pytest.raises(ServiceError) as excinfo:
+            handle.client.similar("DCG:definitely_not_a_kernel")
+        assert excinfo.value.status == 404
+        status, _ = handle.client._request("GET", "/v1/similar")
+        assert status == 400
